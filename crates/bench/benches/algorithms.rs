@@ -1,0 +1,68 @@
+//! Micro-benchmarks: the three exact algorithms + greedy on the planted
+//! cluster family (the shape of real diversity graphs) and on paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divtopk_core::prelude::*;
+use divtopk_core::testgen::{self, ClusterConfig};
+use std::hint::black_box;
+
+fn cluster_graph(clusters: usize, seed: u64) -> DiversityGraph {
+    testgen::planted_clusters(
+        &ClusterConfig {
+            clusters,
+            cluster_size: 10,
+            intra_p: 0.7,
+            bridges: clusters / 2,
+            singletons: clusters * 2,
+        },
+        seed,
+    )
+}
+
+fn bench_exact_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(20);
+    for clusters in [4usize, 8, 16] {
+        let g = cluster_graph(clusters, 7);
+        let k = 20;
+        group.bench_with_input(BenchmarkId::new("div-dp", clusters), &g, |b, g| {
+            b.iter(|| black_box(div_dp(g, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("div-cut", clusters), &g, |b, g| {
+            b.iter(|| black_box(div_cut(g, k)))
+        });
+        if clusters <= 8 {
+            group.bench_with_input(BenchmarkId::new("div-astar", clusters), &g, |b, g| {
+                b.iter(|| black_box(div_astar(g, k)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    // Path graphs are div-cut's best case (every interior node is a cut
+    // point) and div-astar's nightmare.
+    let mut group = c.benchmark_group("path");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let g = testgen::path_graph(n, 3);
+        group.bench_with_input(BenchmarkId::new("div-cut", n), &g, |b, g| {
+            b.iter(|| black_box(div_cut(g, 32)))
+        });
+        group.bench_with_input(BenchmarkId::new("div-dp", n), &g, |b, g| {
+            b.iter(|| black_box(div_dp(g, 32)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let g = cluster_graph(32, 9);
+    c.bench_function("greedy/32_clusters_k50", |b| {
+        b.iter(|| black_box(greedy(&g, 50)))
+    });
+}
+
+criterion_group!(benches, bench_exact_algorithms, bench_paths, bench_greedy);
+criterion_main!(benches);

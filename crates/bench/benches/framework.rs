@@ -1,0 +1,80 @@
+//! End-to-end framework benches: the full `div-search` loop (pulls,
+//! similarity checks, gated inner searches, early stop) over both source
+//! kinds on a small synthetic corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use divtopk_core::ExactAlgorithm;
+use divtopk_text::prelude::*;
+use std::hint::black_box;
+
+fn setup() -> (Corpus, InvertedIndex, TermId, KeywordQuery) {
+    let corpus = generate(&SynthConfig::tiny().with_num_docs(2_000));
+    let index = InvertedIndex::build(&corpus);
+    let term = (0..corpus.num_terms() as TermId)
+        .filter(|&t| corpus.doc_freq(t) as usize <= corpus.num_docs() / 10)
+        .max_by_key(|&t| index.postings(t).len())
+        .expect("non-empty corpus");
+    let query = query_for_band(&corpus, 2, 2, 5).expect("band 2 populated");
+    (corpus, index, term, query)
+}
+
+fn bench_framework(c: &mut Criterion) {
+    let (corpus, index, term, query) = setup();
+    let searcher = DiversifiedSearcher::new(&corpus, &index);
+    let mut group = c.benchmark_group("framework");
+    group.sample_size(20);
+
+    group.bench_function("scan_k10_cut", |b| {
+        b.iter(|| {
+            black_box(
+                searcher
+                    .search_scan(term, &SearchOptions::new(10).with_tau(0.6))
+                    .unwrap()
+                    .total_score,
+            )
+        })
+    });
+    group.bench_function("ta_k10_cut", |b| {
+        b.iter(|| {
+            black_box(
+                searcher
+                    .search_ta(&query, &SearchOptions::new(10).with_tau(0.6))
+                    .unwrap()
+                    .total_score,
+            )
+        })
+    });
+    group.bench_function("scan_k10_dp", |b| {
+        b.iter(|| {
+            black_box(
+                searcher
+                    .search_scan(
+                        term,
+                        &SearchOptions::new(10)
+                            .with_tau(0.6)
+                            .with_algorithm(ExactAlgorithm::Dp),
+                    )
+                    .unwrap()
+                    .total_score,
+            )
+        })
+    });
+    // The bound-decay throttle's effect on end-to-end latency.
+    group.bench_function("scan_k50_cut_decay0.01", |b| {
+        b.iter(|| {
+            black_box(
+                searcher
+                    .search_scan(
+                        term,
+                        &SearchOptions::new(50).with_tau(0.6).with_bound_decay(0.01),
+                    )
+                    .unwrap()
+                    .total_score,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_framework);
+criterion_main!(benches);

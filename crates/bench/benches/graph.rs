@@ -1,0 +1,55 @@
+//! Micro-benchmarks for the graph substrates: components, Tarjan cut
+//! points, Lemma 7 compression, and induced-subgraph extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divtopk_core::components::connected_components;
+use divtopk_core::compress::compress;
+use divtopk_core::cutpoints::articulation_points;
+use divtopk_core::testgen::{self, ClusterConfig};
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    for n in [1_000usize, 10_000] {
+        let g = testgen::random_graph(n, 2.0 / n as f64, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(connected_components(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cutpoints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tarjan");
+    for n in [1_000usize, 10_000, 100_000] {
+        let g = testgen::path_graph(n, 5);
+        group.bench_with_input(BenchmarkId::new("path", n), &g, |b, g| {
+            b.iter(|| black_box(articulation_points(g)))
+        });
+    }
+    let g = testgen::planted_clusters(&ClusterConfig::default(), 3);
+    group.bench_function("clusters", |b| b.iter(|| black_box(articulation_points(&g))));
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for n in [200usize, 1_000] {
+        let g = testgen::random_graph(n, 4.0 / n as f64, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(compress(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_subgraph(c: &mut Criterion) {
+    let g = testgen::random_graph(10_000, 0.0005, 2);
+    let keep: Vec<u32> = (0..5_000).map(|i| i * 2).collect();
+    c.bench_function("induced_subgraph/half_of_10k", |b| {
+        b.iter(|| black_box(g.induced_subgraph(&keep)))
+    });
+}
+
+criterion_group!(benches, bench_components, bench_cutpoints, bench_compress, bench_subgraph);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks for the `⊕` / `⊗` operators (Algorithms 5–6) across
+//! table sizes — the inner loop of `div-dp` and `div-cut`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divtopk_core::ops::{combine_alternative, combine_disjoint, combine_disjoint_in_place};
+use divtopk_core::rng::Pcg;
+use divtopk_core::{Score, SearchResult};
+use std::hint::black_box;
+
+/// A table with entries at every size 1..=k over ids `base..`.
+fn dense_table(k: usize, base: u32, seed: u64) -> SearchResult {
+    let mut rng = Pcg::new(seed);
+    let mut t = SearchResult::empty(k);
+    let mut nodes = Vec::new();
+    let mut score = Score::ZERO;
+    for i in 0..k {
+        nodes.push(base + i as u32);
+        score += Score::from(rng.range(1, 100));
+        t.offer(nodes.clone(), score);
+    }
+    t
+}
+
+/// A singleton-component table (sizes 0 and 1 only) — the common fold case.
+fn singleton_table(base: u32, seed: u64) -> SearchResult {
+    let mut rng = Pcg::new(seed);
+    let mut t = SearchResult::empty(2048);
+    t.offer(vec![base], Score::from(rng.range(1, 100)));
+    t
+}
+
+fn bench_plus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plus");
+    for k in [16usize, 64, 256, 1024] {
+        let a = dense_table(k, 0, 1);
+        let b = dense_table(k, 10_000, 2);
+        group.bench_with_input(BenchmarkId::new("dense_functional", k), &k, |bench, _| {
+            bench.iter(|| black_box(combine_disjoint(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_in_place", k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut acc = a.clone();
+                combine_disjoint_in_place(&mut acc, &b);
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plus_fold(c: &mut Criterion) {
+    // Fold 512 singleton components into one k = 2048 accumulator:
+    // the div-dp/div-cut hot path at the paper's large-k settings.
+    let singles: Vec<SearchResult> = (0..512).map(|i| singleton_table(i, i as u64)).collect();
+    c.bench_function("plus/fold_512_singletons_k2048", |bench| {
+        bench.iter(|| {
+            let mut acc = SearchResult::empty(2048);
+            for s in &singles {
+                combine_disjoint_in_place(&mut acc, s);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_otimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("otimes");
+    for k in [64usize, 1024] {
+        let a = dense_table(k, 0, 3);
+        let b = dense_table(k, 0, 4);
+        group.bench_with_input(BenchmarkId::new("dense", k), &k, |bench, _| {
+            bench.iter(|| black_box(combine_alternative(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plus, bench_plus_fold, bench_otimes);
+criterion_main!(benches);

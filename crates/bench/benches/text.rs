@@ -1,0 +1,92 @@
+//! Micro-benchmarks for the text substrate: corpus generation, index
+//! build, the two result sources, and the similarity kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use divtopk_core::ResultSource;
+use divtopk_text::prelude::*;
+use std::hint::black_box;
+
+fn small_corpus() -> (Corpus, InvertedIndex) {
+    let corpus = generate(&SynthConfig::tiny().with_num_docs(2_000));
+    let index = InvertedIndex::build(&corpus);
+    (corpus, index)
+}
+
+fn bench_generate_and_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("generate_2k_docs", |b| {
+        b.iter(|| black_box(generate(&SynthConfig::tiny().with_num_docs(2_000))))
+    });
+    let corpus = generate(&SynthConfig::tiny().with_num_docs(2_000));
+    group.bench_function("index_2k_docs", |b| {
+        b.iter(|| black_box(InvertedIndex::build(&corpus)))
+    });
+    group.finish();
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let text = "The quick brown fox, having JUMPED over 42 lazy dogs, \
+                proceeded to write a benchmark harness in Rust!"
+        .repeat(20);
+    c.bench_function("tokenize/2kB", |b| b.iter(|| black_box(tokenize(&text))));
+}
+
+fn bench_sources(c: &mut Criterion) {
+    let (corpus, index) = small_corpus();
+    // Two mid-frequency terms.
+    let terms: Vec<TermId> = (0..corpus.num_terms() as TermId)
+        .filter(|&t| (50..300).contains(&index.postings(t).len()))
+        .take(2)
+        .collect();
+    assert_eq!(terms.len(), 2, "need two mid-frequency terms");
+
+    c.bench_function("source/scan_drain", |b| {
+        b.iter(|| {
+            let mut src = ScanSource::new(&index, terms[0]);
+            let mut n = 0;
+            while src.next_result().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("source/ta_drain_2_terms", |b| {
+        b.iter(|| {
+            let mut src = TaSource::new(&corpus, &index, &terms);
+            let mut n = 0;
+            while src.next_result().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let (corpus, _) = small_corpus();
+    let d1 = corpus.doc(0);
+    let d2 = corpus.doc(1);
+    c.bench_function("jaccard/full_merge", |b| {
+        b.iter(|| black_box(weighted_jaccard(&corpus, d1, d2)))
+    });
+    let idf = corpus.idf_table();
+    let w1 = divtopk_text::jaccard::total_weight(idf, d1);
+    let w2 = divtopk_text::jaccard::total_weight(idf, d2);
+    c.bench_function("jaccard/prefiltered_predicate", |b| {
+        b.iter(|| {
+            black_box(divtopk_text::jaccard::similar_above(
+                idf, d1, w1, d2, w2, 0.6,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generate_and_index,
+    bench_tokenize,
+    bench_sources,
+    bench_jaccard
+);
+criterion_main!(benches);

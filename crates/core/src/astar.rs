@@ -1,0 +1,503 @@
+//! `div-astar` — the A\*-based exact search (Algorithm 4, §5).
+//!
+//! Partial solutions live in a max-heap ranked by an admissible upper bound
+//! (`astar-bound`): the best score any extension of the partial solution
+//! (using only nodes at later positions, up to `k'` total) could reach.
+//! Because node ids are sorted by non-increasing score, the bound simply
+//! greedily sums the best *compatible* later nodes.
+//!
+//! One heap is **reused** across the per-size rounds `k' = k, k-1, …, 1`
+//! (Lemma 6): after the round for `k'`, every surviving entry's bound is
+//! recomputed for `k' − 1` and the heap is rebuilt, instead of restarting
+//! the search from scratch. After the round for `k'`, the table's prefix
+//! maximum at `k'` is exact (see `solution.rs` docs for why prefix-max is
+//! the right contract).
+
+use crate::error::SearchError;
+use crate::graph::{DiversityGraph, NodeId};
+use crate::limits::{BudgetLedger, SearchLimits};
+use crate::metrics::SearchMetrics;
+use crate::score::Score;
+use crate::solution::SearchResult;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A partial solution in the A\* frontier.
+///
+/// `first_untried` is `e.pos + 1` in the paper's notation: the smallest node
+/// id not yet considered for extension (all solution members have smaller
+/// ids).
+#[derive(Debug, Clone)]
+struct Entry {
+    bound: Score,
+    score: Score,
+    first_untried: NodeId,
+    solution: Vec<NodeId>,
+}
+
+impl Entry {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Entry>() + self.solution.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by bound; ties broken by realized score (prefer more
+        // complete solutions), then by position for determinism.
+        self.bound
+            .cmp(&other.bound)
+            .then(self.score.cmp(&other.score))
+            .then(other.first_untried.cmp(&self.first_untried))
+    }
+}
+
+/// Scratch space for bound computations: two stamp arrays avoid clearing
+/// `O(V)` buffers per entry.
+struct Scratch {
+    /// Stamped with `epoch` for nodes adjacent to the popped entry's solution.
+    excl: Vec<u32>,
+    /// Stamped with `cand_epoch` for nodes adjacent to the candidate node.
+    cand: Vec<u32>,
+    epoch: u32,
+    cand_epoch: u32,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Scratch {
+        Scratch {
+            excl: vec![0; n],
+            cand: vec![0; n],
+            epoch: 0,
+            cand_epoch: 0,
+        }
+    }
+
+    /// Marks everything adjacent to `solution` (fresh epoch).
+    fn mark_solution(&mut self, g: &DiversityGraph, solution: &[NodeId]) {
+        self.epoch += 1;
+        for &v in solution {
+            for &nb in g.neighbors(v) {
+                self.excl[nb as usize] = self.epoch;
+            }
+        }
+    }
+
+    /// Marks everything adjacent to `v` (fresh candidate epoch).
+    fn mark_candidate(&mut self, g: &DiversityGraph, v: NodeId) {
+        self.cand_epoch += 1;
+        for &nb in g.neighbors(v) {
+            self.cand[nb as usize] = self.cand_epoch;
+        }
+    }
+
+    #[inline]
+    fn excluded(&self, v: NodeId) -> bool {
+        self.excl[v as usize] == self.epoch
+    }
+
+    #[inline]
+    fn cand_excluded(&self, v: NodeId) -> bool {
+        self.cand[v as usize] == self.cand_epoch
+    }
+}
+
+/// `astar-bound(G, e, k')` (Algorithm 4 lines 18–26) given pre-marked
+/// exclusion stamps: extends from `first_untried`, greedily adding the
+/// highest-scored compatible nodes until `k'` total.
+///
+/// `use_cand` selects whether the candidate stamp array participates
+/// (true when bounding a child `e ∪ {v}` whose neighbors were just marked).
+fn bound_from_marks(
+    g: &DiversityGraph,
+    scratch: &Scratch,
+    use_cand: bool,
+    mut size: usize,
+    base_score: Score,
+    first_untried: NodeId,
+    k_prime: usize,
+) -> Score {
+    let n = g.len() as NodeId;
+    let mut bound = base_score;
+    let mut i = first_untried;
+    while size < k_prime && i < n {
+        if !scratch.excluded(i) && (!use_cand || !scratch.cand_excluded(i)) {
+            bound += g.score(i);
+            size += 1;
+        }
+        i += 1;
+    }
+    bound
+}
+
+/// Standalone `astar-bound` for one entry (used when re-bounding the heap
+/// between rounds). Marks the entry's exclusions itself.
+fn astar_bound(g: &DiversityGraph, scratch: &mut Scratch, e: &Entry, k_prime: usize) -> Score {
+    scratch.mark_solution(g, &e.solution);
+    bound_from_marks(
+        g,
+        scratch,
+        false,
+        e.solution.len(),
+        e.score,
+        e.first_untried,
+        k_prime,
+    )
+}
+
+/// Configuration knobs for `div-astar` (ablations; defaults match the paper).
+#[derive(Debug, Clone)]
+pub struct AStarConfig {
+    /// Reuse the heap across `k'` rounds (Lemma 6). Disabling restarts the
+    /// search from scratch for every `k'` — ablation AB4.
+    pub reuse_heap: bool,
+}
+
+impl Default for AStarConfig {
+    fn default() -> AStarConfig {
+        AStarConfig { reuse_heap: true }
+    }
+}
+
+/// Exact diversified top-k on `g` with default config and no limits.
+///
+/// Infallible (no budgets); worst-case exponential time — prefer
+/// [`div_astar_limited`] on untrusted inputs or use `div-dp`/`div-cut`.
+pub fn div_astar(g: &DiversityGraph, k: usize) -> SearchResult {
+    let mut metrics = SearchMetrics::default();
+    let mut ledger = SearchLimits::unlimited().start();
+    div_astar_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)
+        .expect("unlimited search cannot exhaust budgets")
+}
+
+/// Exact diversified top-k with explicit configuration and budgets
+/// (ablation AB4 toggles heap reuse here).
+pub fn div_astar_configured(
+    g: &DiversityGraph,
+    k: usize,
+    config: &AStarConfig,
+    limits: &SearchLimits,
+) -> Result<(SearchResult, SearchMetrics), SearchError> {
+    let mut metrics = SearchMetrics::default();
+    let mut ledger = limits.start();
+    let result = div_astar_ledger(g, k, config, &mut ledger, &mut metrics)?;
+    Ok((result, metrics))
+}
+
+/// Exact diversified top-k on `g` under resource budgets.
+pub fn div_astar_limited(
+    g: &DiversityGraph,
+    k: usize,
+    limits: &SearchLimits,
+) -> Result<(SearchResult, SearchMetrics), SearchError> {
+    let mut metrics = SearchMetrics::default();
+    let mut ledger = limits.start();
+    let result = div_astar_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)?;
+    Ok((result, metrics))
+}
+
+/// Core implementation with a shared ledger (so `div-dp`/`div-cut` budgets
+/// span all inner calls) and accumulated metrics.
+pub(crate) fn div_astar_ledger(
+    g: &DiversityGraph,
+    k: usize,
+    config: &AStarConfig,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+) -> Result<SearchResult, SearchError> {
+    metrics.astar_calls += 1;
+    let n = g.len();
+    let mut result = SearchResult::empty(k);
+    if n == 0 || k == 0 {
+        return Ok(result);
+    }
+    // Solutions cannot exceed n nodes: rounds beyond n are no-ops.
+    let k_cap = k.min(n);
+    let mut scratch = Scratch::new(n);
+
+    if config.reuse_heap {
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        push_root(g, &mut scratch, &mut heap, k_cap, ledger, metrics)?;
+        for k_prime in (1..=k_cap).rev() {
+            if k_prime < k_cap {
+                rebound_heap(g, &mut scratch, &mut heap, k_prime);
+            }
+            astar_search(g, &mut scratch, &mut heap, &mut result, k_prime, ledger, metrics)?;
+        }
+    } else {
+        // Ablation AB4: fresh search per k'.
+        for k_prime in (1..=k_cap).rev() {
+            let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+            push_root(g, &mut scratch, &mut heap, k_prime, ledger, metrics)?;
+            astar_search(g, &mut scratch, &mut heap, &mut result, k_prime, ledger, metrics)?;
+        }
+    }
+    Ok(result)
+}
+
+fn push_root(
+    g: &DiversityGraph,
+    scratch: &mut Scratch,
+    heap: &mut BinaryHeap<Entry>,
+    k_prime: usize,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+) -> Result<(), SearchError> {
+    let mut root = Entry {
+        bound: Score::ZERO,
+        score: Score::ZERO,
+        first_untried: 0,
+        solution: Vec::new(),
+    };
+    root.bound = astar_bound(g, scratch, &root, k_prime);
+    ledger.add_bytes(root.heap_bytes())?;
+    metrics.pushes += 1;
+    heap.push(root);
+    Ok(())
+}
+
+/// Recomputes every surviving entry's bound for the next round's `k'`
+/// (Algorithm 4 lines 5–7) and rebuilds the heap.
+fn rebound_heap(
+    g: &DiversityGraph,
+    scratch: &mut Scratch,
+    heap: &mut BinaryHeap<Entry>,
+    k_prime: usize,
+) {
+    let mut entries = std::mem::take(heap).into_vec();
+    for e in &mut entries {
+        e.bound = astar_bound(g, scratch, e, k_prime);
+    }
+    *heap = BinaryHeap::from(entries);
+}
+
+/// `astar-search(G, H, D, k')` (Algorithm 4 lines 9–17).
+#[allow(clippy::too_many_arguments)]
+fn astar_search(
+    g: &DiversityGraph,
+    scratch: &mut Scratch,
+    heap: &mut BinaryHeap<Entry>,
+    result: &mut SearchResult,
+    k_prime: usize,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+) -> Result<(), SearchError> {
+    let n = g.len() as NodeId;
+    loop {
+        // Stop when the frontier cannot beat the incumbent for sizes ≤ k'.
+        let incumbent = result.prefix_best_score(k_prime);
+        match heap.peek() {
+            None => return Ok(()),
+            Some(top) if top.bound <= incumbent => return Ok(()),
+            Some(_) => {}
+        }
+        let e = heap.pop().expect("peeked entry");
+        ledger.release_bytes(e.heap_bytes());
+        ledger.record_expansion()?;
+        metrics.expansions += 1;
+
+        if e.solution.len() >= k_prime {
+            continue;
+        }
+        scratch.mark_solution(g, &e.solution);
+        for v in e.first_untried..n {
+            if scratch.excluded(v) {
+                continue; // adjacent to the current solution
+            }
+            // Child solution e' = e.solution ∪ {v}.
+            let mut child_solution = Vec::with_capacity(e.solution.len() + 1);
+            child_solution.extend_from_slice(&e.solution);
+            child_solution.push(v);
+            let child_score = e.score + g.score(v);
+            scratch.mark_candidate(g, v);
+            let child_bound = bound_from_marks(
+                g,
+                scratch,
+                true,
+                child_solution.len(),
+                child_score,
+                v + 1,
+                k_prime,
+            );
+            // Line 17: a child with j elements is itself a candidate D_j.
+            result.offer(child_solution.clone(), child_score);
+            // Push every extensible child (Algorithm 4 line 16). Children
+            // whose bound trails the incumbent must NOT be dropped here:
+            // later rounds run with smaller k' and a *lower* incumbent, so a
+            // child useless now can still seed the optimum for a smaller
+            // size (the heap is reused across rounds, Lemma 6). Children at
+            // size k' can never extend in this or any later round.
+            if child_solution.len() < k_prime {
+                let child = Entry {
+                    bound: child_bound,
+                    score: child_score,
+                    first_untried: v + 1,
+                    solution: child_solution,
+                };
+                ledger.add_bytes(child.heap_bytes())?;
+                metrics.pushes += 1;
+                heap.push(child);
+                ledger.check_heap(heap.len())?;
+                metrics.peak_heap = metrics.peak_heap.max(heap.len());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use crate::testgen;
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    /// Checks the prefix-max contract of `got` against the point-wise-exact
+    /// oracle `want` on `g`.
+    fn assert_prefix_max_matches(g: &DiversityGraph, got: &SearchResult, want: &SearchResult) {
+        got.assert_well_formed(Some(g));
+        for i in 0..=got.k() {
+            assert_eq!(
+                got.prefix_best_score(i),
+                want.prefix_best_score(i),
+                "prefix-max mismatch at size {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_example2_walkthrough() {
+        // Example 2: k = 3 on Fig. 1 → D3 = {v3, v4, v5} score 20;
+        // then k = 2 → best score 18 ({v1, v2}).
+        let g = DiversityGraph::paper_fig1();
+        let r = div_astar(&g, 3);
+        assert_eq!(r.best().score(), s(20));
+        assert_eq!(r.best().nodes(), &[2, 3, 4]);
+        assert_eq!(r.prefix_best_score(2), s(18));
+        assert_eq!(r.prefix_best_score(1), s(10));
+        r.assert_well_formed(Some(&g));
+    }
+
+    #[test]
+    fn fig4_initial_bounds() {
+        // Example 2's bound values for singleton entries at k' = 3:
+        // {v1}: 19, {v2}: 9, {v3}: 20, {v4}: 13, {v5}: 6, {v6}: 1.
+        let g = DiversityGraph::paper_fig1();
+        let mut scratch = Scratch::new(g.len());
+        let expected = [19u32, 9, 20, 13, 6, 1];
+        for (v, &want) in expected.iter().enumerate() {
+            let e = Entry {
+                bound: Score::ZERO,
+                score: g.score(v as NodeId),
+                first_untried: v as NodeId + 1,
+                solution: vec![v as NodeId],
+            };
+            assert_eq!(
+                astar_bound(&g, &mut scratch, &e, 3),
+                s(want),
+                "bound of {{v{}}}",
+                v + 1
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_rebound_for_k2() {
+        // When k' drops to 2, {v1}'s bound becomes 18 (Fig. 5).
+        let g = DiversityGraph::paper_fig1();
+        let mut scratch = Scratch::new(g.len());
+        let e = Entry {
+            bound: Score::ZERO,
+            score: s(10),
+            first_untried: 1,
+            solution: vec![0],
+        };
+        assert_eq!(astar_bound(&g, &mut scratch, &e, 2), s(18));
+    }
+
+    #[test]
+    fn empty_graph_and_k_zero() {
+        let g = DiversityGraph::from_sorted_scores(vec![], &[]);
+        assert_eq!(div_astar(&g, 5).best().len(), 0);
+        let g = DiversityGraph::paper_fig1();
+        assert_eq!(div_astar(&g, 0).best().len(), 0);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_graphs() {
+        for seed in 0..40 {
+            let g = testgen::random_graph(12, 0.3, seed);
+            for k in [1, 2, 4, 8, 12] {
+                let got = div_astar(&g, k);
+                let want = exhaustive(&g, k);
+                assert_prefix_max_matches(&g, &got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_dense_graphs() {
+        for seed in 100..110 {
+            let g = testgen::random_graph(14, 0.7, seed);
+            let got = div_astar(&g, 6);
+            let want = exhaustive(&g, 6);
+            assert_prefix_max_matches(&g, &got, &want);
+        }
+    }
+
+    #[test]
+    fn no_reuse_ablation_matches() {
+        let config = AStarConfig { reuse_heap: false };
+        for seed in 0..10 {
+            let g = testgen::random_graph(10, 0.4, seed);
+            let mut m1 = SearchMetrics::default();
+            let mut l1 = SearchLimits::unlimited().start();
+            let got = div_astar_ledger(&g, 5, &config, &mut l1, &mut m1).unwrap();
+            let want = exhaustive(&g, 5);
+            assert_prefix_max_matches(&g, &got, &want);
+        }
+    }
+
+    #[test]
+    fn expansion_budget_aborts() {
+        let g = testgen::random_graph(30, 0.1, 7);
+        let limits = SearchLimits {
+            max_expansions: Some(3),
+            ..SearchLimits::default()
+        };
+        let err = div_astar_limited(&g, 10, &limits).unwrap_err();
+        assert!(matches!(err, SearchError::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn byte_budget_aborts_on_star_chain() {
+        let g = testgen::star_chain(100);
+        let limits = SearchLimits::with_max_bytes(512);
+        let err = div_astar_limited(&g, 50, &limits).unwrap_err();
+        assert!(matches!(err, SearchError::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let g = DiversityGraph::paper_fig1();
+        let (r, m) = div_astar_limited(&g, 3, &SearchLimits::unlimited()).unwrap();
+        assert_eq!(r.best().score(), s(20));
+        assert!(m.expansions > 0);
+        assert!(m.pushes > m.expansions / 2);
+        assert_eq!(m.astar_calls, 1);
+        assert!(m.peak_heap > 0);
+    }
+}

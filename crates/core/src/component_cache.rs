@@ -1,0 +1,353 @@
+//! Incremental, component-cached `div-search-current` — an engineering
+//! extension beyond the paper.
+//!
+//! Algorithm 3 re-runs `div-search-current()` on the *whole* current result
+//! set after (in the worst case) every generated result. But between two
+//! invocations the diversity graph only gains a handful of nodes/edges, and
+//! independent sets respect component boundaries — so per-component tables
+//! from the previous invocation remain **exactly valid** for every
+//! component the new results did not touch. This module maintains:
+//!
+//! * a union-find over results (arrival order) with per-root member lists
+//!   (small-to-large merging), and
+//! * a cache of per-component [`SearchResult`] tables (arrival-id space),
+//!   invalidated precisely when components merge or grow.
+//!
+//! Each invocation then recomputes only *dirty* components (with `div-cut`)
+//! and `⊕`-folds all cached tables. On streams where the gate fires often
+//! this removes the dominant redundant work; `framework::DivSearchConfig::
+//! cache_components` switches it on, and equality with the uncached path is
+//! property-tested.
+
+use crate::cut::{div_cut_ledger, CutConfig};
+use crate::error::SearchError;
+use crate::graph::DiversityGraph;
+use crate::limits::SearchLimits;
+use crate::metrics::SearchMetrics;
+use crate::ops::combine_disjoint_in_place;
+use crate::score::Score;
+use crate::solution::SearchResult;
+use std::collections::{HashMap, HashSet};
+
+/// Incrementally maintained diversity graph + per-component table cache.
+///
+/// Node ids are **arrival indices** (the order results were added).
+#[derive(Debug)]
+pub struct ComponentCache {
+    /// Per-node score, arrival order.
+    scores: Vec<Score>,
+    /// Per-node adjacency (arrival ids).
+    adj: Vec<Vec<u32>>,
+    /// Union-find parent (path-halving).
+    parent: Vec<u32>,
+    /// Member lists, only meaningful at roots.
+    members: Vec<Vec<u32>>,
+    /// Cached exact tables per root (arrival-id space).
+    tables: HashMap<u32, SearchResult>,
+    /// Roots whose component changed since their cached table was built.
+    dirty: HashSet<u32>,
+    /// Total undirected edges (exposed for metrics).
+    edge_count: u64,
+}
+
+impl ComponentCache {
+    /// An empty cache.
+    pub fn new() -> ComponentCache {
+        ComponentCache {
+            scores: Vec::new(),
+            adj: Vec::new(),
+            parent: Vec::new(),
+            members: Vec::new(),
+            tables: HashMap::new(),
+            dirty: HashSet::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of results added.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True before any result was added.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Total undirected edges added.
+    pub fn edge_count(&self) -> u64 {
+        self.edge_count
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Adds the next result (arrival id = current `len()`) with its edges
+    /// to earlier results. Returns the new node's arrival id.
+    pub fn add_result(&mut self, score: Score, neighbors: &[u32]) -> u32 {
+        let id = self.scores.len() as u32;
+        self.scores.push(score);
+        self.adj.push(neighbors.to_vec());
+        self.parent.push(id);
+        self.members.push(vec![id]);
+        self.dirty.insert(id);
+        for &nb in neighbors {
+            debug_assert!(nb < id, "edges must point at earlier arrivals");
+            self.adj[nb as usize].push(id);
+            self.edge_count += 1;
+            // Union id's root with nb's root (small-to-large on members).
+            let ra = self.find(id);
+            let rb = self.find(nb);
+            if ra == rb {
+                continue;
+            }
+            let (big, small) = if self.members[ra as usize].len() >= self.members[rb as usize].len()
+            {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            self.parent[small as usize] = big;
+            let moved = std::mem::take(&mut self.members[small as usize]);
+            self.members[big as usize].extend(moved);
+            self.tables.remove(&small);
+            self.tables.remove(&big);
+            self.dirty.remove(&small);
+            self.dirty.insert(big);
+        }
+        id
+    }
+
+    /// Recomputes dirty components (with `div-cut` under `config`) and
+    /// returns the `⊕`-fold of all component tables — the exact
+    /// `div-search-current` answer for the current result set.
+    pub fn search(
+        &mut self,
+        k: usize,
+        config: &CutConfig,
+        limits: &SearchLimits,
+        metrics: &mut SearchMetrics,
+    ) -> Result<SearchResult, SearchError> {
+        let mut ledger = limits.start();
+        // Recompute dirty roots.
+        let dirty: Vec<u32> = self.dirty.iter().copied().collect();
+        for root in dirty {
+            // A root may have been absorbed after being marked dirty.
+            if self.parent[root as usize] != root {
+                self.dirty.remove(&root);
+                continue;
+            }
+            let members = self.members[root as usize].clone();
+            let table = self.solve_component(&members, k, config, &mut ledger, metrics)?;
+            self.tables.insert(root, table);
+            self.dirty.remove(&root);
+        }
+        // Fold every live component table.
+        let mut combined = SearchResult::empty(k);
+        let roots: Vec<u32> = (0..self.parent.len() as u32)
+            .filter(|&x| self.parent[x as usize] == x)
+            .collect();
+        for root in roots {
+            let table = self
+                .tables
+                .get(&root)
+                .expect("every live root has a table after recompute");
+            // Cached tables may target a previous k; recompute on mismatch.
+            if table.k() != k {
+                let members = self.members[root as usize].clone();
+                let fresh = self.solve_component(&members, k, config, &mut ledger, metrics)?;
+                self.tables.insert(root, fresh);
+            }
+            combine_disjoint_in_place(&mut combined, &self.tables[&root]);
+            metrics.plus_ops += 1;
+        }
+        Ok(combined)
+    }
+
+    /// Exact table for one component (arrival-id space).
+    fn solve_component(
+        &self,
+        members: &[u32],
+        k: usize,
+        config: &CutConfig,
+        ledger: &mut crate::limits::BudgetLedger,
+        metrics: &mut SearchMetrics,
+    ) -> Result<SearchResult, SearchError> {
+        // Build the component's graph: local ids = positions in `members`.
+        let mut local_of = HashMap::with_capacity(members.len());
+        for (local, &a) in members.iter().enumerate() {
+            local_of.insert(a, local as u32);
+        }
+        let scores: Vec<Score> = members.iter().map(|&a| self.scores[a as usize]).collect();
+        let mut edges = Vec::new();
+        for (local, &a) in members.iter().enumerate() {
+            for &nb in &self.adj[a as usize] {
+                if nb > a {
+                    continue; // count each edge once
+                }
+                let Some(&nb_local) = local_of.get(&nb) else {
+                    unreachable!("edges never cross components");
+                };
+                edges.push((local as u32, nb_local));
+            }
+        }
+        let (graph, perm) = DiversityGraph::from_unsorted_scores(&scores, &edges);
+        let local_table = div_cut_ledger(&graph, k, config, ledger, metrics, 0)?;
+        // graph ids → local ids → arrival ids.
+        let to_arrival: Vec<u32> = perm
+            .iter()
+            .map(|&local| members[local as usize])
+            .collect();
+        Ok(local_table.map_nodes(&to_arrival))
+    }
+}
+
+impl Default for ComponentCache {
+    fn default() -> ComponentCache {
+        ComponentCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use crate::rng::Pcg;
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    /// Reference: rebuild the full graph and solve exhaustively.
+    fn oracle(scores: &[Score], edges: &[(u32, u32)], k: usize) -> Score {
+        let (g, _) = DiversityGraph::from_unsorted_scores(scores, edges);
+        exhaustive(&g, k).best().score()
+    }
+
+    #[test]
+    fn matches_oracle_after_every_insertion() {
+        let mut rng = Pcg::new(42);
+        for _trial in 0..15 {
+            let mut cache = ComponentCache::new();
+            let mut scores = Vec::new();
+            let mut all_edges = Vec::new();
+            let k = 1 + rng.below(5) as usize;
+            for i in 0..18u32 {
+                let score = s(rng.range(1, 500));
+                let neighbors: Vec<u32> =
+                    (0..i).filter(|_| rng.chance(0.15)).collect();
+                for &nb in &neighbors {
+                    all_edges.push((nb, i));
+                }
+                scores.push(score);
+                cache.add_result(score, &neighbors);
+
+                let mut metrics = SearchMetrics::default();
+                let got = cache
+                    .search(
+                        k,
+                        &CutConfig::default(),
+                        &SearchLimits::unlimited(),
+                        &mut metrics,
+                    )
+                    .unwrap();
+                let want = oracle(&scores, &all_edges, k);
+                assert_eq!(got.best().score(), want, "after inserting {i}");
+                got.assert_well_formed(None);
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_components_are_not_recomputed() {
+        let mut cache = ComponentCache::new();
+        // Two disjoint pairs.
+        cache.add_result(s(10), &[]);
+        cache.add_result(s(9), &[0]);
+        cache.add_result(s(8), &[]);
+        cache.add_result(s(7), &[2]);
+        let mut m1 = SearchMetrics::default();
+        cache
+            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m1)
+            .unwrap();
+        let calls_first = m1.astar_calls;
+        assert!(calls_first >= 2);
+
+        // Add an isolated node: only IT should be solved now.
+        cache.add_result(s(1), &[]);
+        let mut m2 = SearchMetrics::default();
+        let got = cache
+            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m2)
+            .unwrap();
+        assert_eq!(got.best().score(), s(18)); // 10 + 8
+        assert!(
+            m2.astar_calls <= calls_first,
+            "recompute touched clean components ({} vs {})",
+            m2.astar_calls,
+            calls_first
+        );
+        assert_eq!(m2.astar_calls, 1, "exactly the new singleton");
+    }
+
+    #[test]
+    fn merging_components_invalidates_both() {
+        let mut cache = ComponentCache::new();
+        cache.add_result(s(10), &[]);
+        cache.add_result(s(8), &[]);
+        let mut m = SearchMetrics::default();
+        cache
+            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m)
+            .unwrap();
+        // Bridge node adjacent to both → single component {0,1,2}.
+        cache.add_result(s(5), &[0, 1]);
+        let mut m2 = SearchMetrics::default();
+        let got = cache
+            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m2)
+            .unwrap();
+        assert_eq!(got.best().score(), s(18)); // 10 + 8 still independent
+        // The merged component must be re-solved (compression may reduce
+        // it to fewer astar calls, but at least one solve happened).
+        assert!(m2.astar_calls >= 1);
+    }
+
+    #[test]
+    fn k_change_triggers_recompute_not_corruption() {
+        let mut cache = ComponentCache::new();
+        for i in 0..6u32 {
+            let nbs: Vec<u32> = if i % 2 == 1 { vec![i - 1] } else { vec![] };
+            cache.add_result(s(10 - i), &nbs);
+        }
+        let mut m = SearchMetrics::default();
+        let at2 = cache
+            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m)
+            .unwrap();
+        let at3 = cache
+            .search(3, &CutConfig::default(), &SearchLimits::unlimited(), &mut m)
+            .unwrap();
+        assert!(at3.best().score() >= at2.best().score());
+        assert_eq!(at3.k(), 3);
+    }
+
+    #[test]
+    fn budget_errors_propagate() {
+        let mut cache = ComponentCache::new();
+        for i in 0..30u32 {
+            let neighbors: Vec<u32> = (0..i).filter(|&j| j % 3 == i % 3).collect();
+            cache.add_result(s(100 - i), &neighbors);
+        }
+        let mut m = SearchMetrics::default();
+        let limits = SearchLimits {
+            max_expansions: Some(1),
+            ..SearchLimits::default()
+        };
+        assert!(cache
+            .search(10, &CutConfig::default(), &limits, &mut m)
+            .is_err());
+    }
+}

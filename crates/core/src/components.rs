@@ -1,0 +1,99 @@
+//! Connected components of the diversity graph.
+//!
+//! `div-dp` (Algorithm 7) and `div-cut` (Algorithm 8) both start by splitting
+//! the graph into connected components, because independent sets compose
+//! freely across components (the `⊕` operator then recombines the tables).
+
+use crate::graph::{DiversityGraph, NodeId};
+
+/// Returns the connected components of `g` as sorted node-id lists.
+///
+/// Components are emitted in order of their smallest node id (i.e. their
+/// highest-scored member), and each component's nodes are sorted ascending.
+/// Iterative BFS — no recursion, safe for adversarial graphs.
+pub fn connected_components(g: &DiversityGraph) -> Vec<Vec<NodeId>> {
+    let n = g.len();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    let mut queue: Vec<NodeId> = Vec::new();
+    for start in 0..n as NodeId {
+        if seen[start as usize] {
+            continue;
+        }
+        seen[start as usize] = true;
+        queue.clear();
+        queue.push(start);
+        let mut comp = vec![start];
+        while let Some(v) = queue.pop() {
+            for &nb in g.neighbors(v) {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    comp.push(nb);
+                    queue.push(nb);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::Score;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> DiversityGraph {
+        let scores = (0..n).map(|i| Score::from((n - i) as u32)).collect();
+        DiversityGraph::from_sorted_scores(scores, edges)
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        assert!(connected_components(&graph(0, &[])).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let comps = connected_components(&graph(3, &[]));
+        assert_eq!(comps, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        // 0-1-2 chain, 3-4 pair, 5 isolated.
+        let comps = connected_components(&graph(6, &[(0, 1), (1, 2), (3, 4)]));
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn fig6_two_components() {
+        // Fig. 6: G1 = {v1..v6}, G2 = {u1..u5} — model as two cliques-ish
+        // pieces; we only check the partition logic here.
+        let comps = connected_components(&graph(
+            11,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+            ],
+        ));
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(comps[1], vec![6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn single_component_when_connected() {
+        let comps = connected_components(&graph(4, &[(0, 1), (1, 2), (2, 3)]));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,947 @@
+//! `div-cut` — the cut-point decomposition search (Algorithms 8–10, §7).
+//!
+//! Each connected component is first *compressed* (Lemma 7), then
+//! decomposed along its cut points into a **cptree**: every tree node `o`
+//! owns a cut point, an *entry graph* (the part of `o`'s territory that
+//! touches the parent's cut point), a *left graph* (cut-point-free
+//! remainder), and child subtrees. Results are computed bottom-up; each
+//! node produces two tables — `result_0` (cut point excluded) and
+//! `result_1` (included) — combined with `⊕`/`⊗`. Entry graphs are searched
+//! up to four times (parent in/out × child in/out) with *mark counters*
+//! suppressing nodes adjacent to included cut points; left and entry
+//! graphs are searched by recursing into `div-cut` itself, so nested
+//! cut structure keeps decomposing.
+//!
+//! ## Structural invariant that makes bottom-up reuse sound
+//!
+//! When a child `o'` (territory `C`, a component of `territory(o) −
+//! o.cut_point`) is built, its entry graph collects **every** component of
+//! `C − o'.cut_point` containing a neighbor of `o.cut_point`. Hence all of
+//! `o.cut_point`'s neighbors inside `C` lie in `o'.entry_graph ∪
+//! {o'.cut_point}` — so `o'.result_j` (which covers `C` *minus* the entry
+//! graph) is valid regardless of whether `o.cut_point` is included; the
+//! parent only re-searches the entry graph under the appropriate marks and
+//! forbids the `both-included` case for adjacent cut points
+//! (Algorithm 10 lines 10–11).
+
+use crate::astar::{div_astar_ledger, AStarConfig};
+use crate::components::connected_components;
+use crate::compress::compress;
+use crate::cutpoints::articulation_points;
+use crate::error::SearchError;
+use crate::graph::{DiversityGraph, NodeId};
+use crate::limits::{BudgetLedger, SearchLimits};
+use crate::metrics::SearchMetrics;
+use crate::ops::{combine_alternative, combine_disjoint, combine_disjoint_in_place};
+use crate::solution::SearchResult;
+
+/// How the root cut point of each cptree is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootHeuristic {
+    /// Minimize the largest component left after removing the root (paper
+    /// default).
+    MinMaxComponent,
+    /// Take the first (highest-scored) cut point — ablation AB2 control.
+    First,
+}
+
+/// How non-root cut points are chosen within their territory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildHeuristic {
+    /// Maximize the entry graph (paper text + worked example; default).
+    LargestEntryGraph,
+    /// Minimize the entry graph (the pseudocode's line 2) — ablation AB2.
+    SmallestEntryGraph,
+    /// Take the first cut point — ablation AB2 control.
+    First,
+}
+
+/// Tuning knobs for `div-cut`; defaults reproduce the paper.
+#[derive(Debug, Clone)]
+pub struct CutConfig {
+    /// Inner A\* configuration.
+    pub astar: AStarConfig,
+    /// Apply Lemma 7 compression before decomposing (ablation AB1).
+    pub compress: bool,
+    /// Root selection strategy.
+    pub root_heuristic: RootHeuristic,
+    /// Non-root selection strategy.
+    pub child_heuristic: ChildHeuristic,
+    /// At most this many candidate cut points are evaluated per selection
+    /// (evenly sampled) — caps the `O(|cut points| · (V + E))` selection
+    /// scan on adversarial graphs without affecting exactness.
+    pub selection_scan_cap: usize,
+    /// Maximum `div-cut` nesting depth (entry/left graphs recurse into
+    /// `div-cut`); beyond it the subgraph falls back to plain `div-astar`,
+    /// which is still exact.
+    pub max_nest_depth: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> CutConfig {
+        CutConfig {
+            astar: AStarConfig::default(),
+            compress: true,
+            root_heuristic: RootHeuristic::MinMaxComponent,
+            child_heuristic: ChildHeuristic::LargestEntryGraph,
+            selection_scan_cap: 32,
+            max_nest_depth: 64,
+        }
+    }
+}
+
+/// One node of the cptree (arena-allocated; children have larger indices).
+#[derive(Debug)]
+pub(crate) struct CpNode {
+    pub(crate) cut_point: NodeId,
+    /// Nodes of the entry graph (may span several components; may be empty).
+    pub(crate) entry_graph: Vec<NodeId>,
+    /// Nodes of the cut-point-free remainder (may be empty / disconnected).
+    pub(crate) left_graph: Vec<NodeId>,
+    /// Arena indices of child cptree nodes.
+    pub(crate) children: Vec<usize>,
+}
+
+/// Exact diversified top-k via cut-point decomposition, no limits.
+pub fn div_cut(g: &DiversityGraph, k: usize) -> SearchResult {
+    let mut metrics = SearchMetrics::default();
+    let mut ledger = SearchLimits::unlimited().start();
+    div_cut_ledger(
+        g,
+        k,
+        &CutConfig::default(),
+        &mut ledger,
+        &mut metrics,
+        0,
+    )
+    .expect("unlimited search cannot exhaust budgets")
+}
+
+/// Exact diversified top-k via cut-point decomposition under budgets.
+pub fn div_cut_limited(
+    g: &DiversityGraph,
+    k: usize,
+    limits: &SearchLimits,
+) -> Result<(SearchResult, SearchMetrics), SearchError> {
+    div_cut_configured(g, k, &CutConfig::default(), limits)
+}
+
+/// Fully configurable entry point (heuristics + budgets).
+pub fn div_cut_configured(
+    g: &DiversityGraph,
+    k: usize,
+    config: &CutConfig,
+    limits: &SearchLimits,
+) -> Result<(SearchResult, SearchMetrics), SearchError> {
+    let mut metrics = SearchMetrics::default();
+    let mut ledger = limits.start();
+    let result = div_cut_ledger(g, k, config, &mut ledger, &mut metrics, 0)?;
+    Ok((result, metrics))
+}
+
+/// Algorithm 8: components → compress → cptree (or astar when no cut points).
+pub(crate) fn div_cut_ledger(
+    g: &DiversityGraph,
+    k: usize,
+    config: &CutConfig,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+    depth: usize,
+) -> Result<SearchResult, SearchError> {
+    let mut combined = SearchResult::empty(k);
+    if k == 0 || g.is_empty() {
+        return Ok(combined);
+    }
+    for comp in connected_components(g) {
+        let (sub, map) = g.induced_subgraph(&comp);
+        let local = cut_component(&sub, k, config, ledger, metrics, depth)?;
+        combine_disjoint_in_place(&mut combined, &local.map_nodes(&map));
+        metrics.plus_ops += 1;
+        ledger.check_deadline()?;
+    }
+    Ok(combined)
+}
+
+/// Handles one *connected* component.
+fn cut_component(
+    g: &DiversityGraph,
+    k: usize,
+    config: &CutConfig,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+    depth: usize,
+) -> Result<SearchResult, SearchError> {
+    if config.compress {
+        let kept = compress(g);
+        if kept.len() < g.len() {
+            metrics.compressed_nodes += (g.len() - kept.len()) as u64;
+            let (cg, map) = g.induced_subgraph(&kept);
+            // Compression can disconnect the component; restart the full
+            // body on the strictly smaller graph (compression is
+            // idempotent, so this cannot loop).
+            let inner = div_cut_ledger(&cg, k, config, ledger, metrics, depth)?;
+            return Ok(inner.map_nodes(&map));
+        }
+    }
+    let cut_points = articulation_points(g);
+    if cut_points.is_empty() || depth >= config.max_nest_depth {
+        return div_astar_ledger(g, k, &config.astar, ledger, metrics);
+    }
+    let tree = construct_cptree(g, &cut_points, config);
+    metrics.cptree_nodes += tree.len() as u64;
+    cp_search(g, &tree, k, config, ledger, metrics, depth)
+}
+
+/// Membership scratch with epoch stamps (avoids reallocating per query).
+struct Territory {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Territory {
+    fn new(n: usize) -> Territory {
+        Territory {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn set(&mut self, nodes: &[NodeId]) {
+        self.epoch += 1;
+        for &v in nodes {
+            self.stamp[v as usize] = self.epoch;
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+}
+
+/// Connected components of `territory − {excluded}` (BFS within stamps).
+fn sub_components(
+    g: &DiversityGraph,
+    territory: &[NodeId],
+    excluded: NodeId,
+    scratch: &mut Territory,
+) -> Vec<Vec<NodeId>> {
+    scratch.set(territory);
+    let mut seen: Vec<NodeId> = Vec::new();
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(excluded);
+    let mut out = Vec::new();
+    for &start in territory {
+        if start == excluded || visited.contains(&start) {
+            continue;
+        }
+        let mut comp = vec![start];
+        visited.insert(start);
+        seen.clear();
+        seen.push(start);
+        while let Some(v) = seen.pop() {
+            for &nb in g.neighbors(v) {
+                if scratch.contains(nb) && nb != excluded && !visited.contains(&nb) {
+                    visited.insert(nb);
+                    comp.push(nb);
+                    seen.push(nb);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Evenly samples at most `cap` candidates (deterministic).
+fn sample_candidates(candidates: &[NodeId], cap: usize) -> Vec<NodeId> {
+    if candidates.len() <= cap {
+        return candidates.to_vec();
+    }
+    let step = candidates.len() as f64 / cap as f64;
+    (0..cap)
+        .map(|i| candidates[(i as f64 * step) as usize])
+        .collect()
+}
+
+/// Algorithm 9's cut-point selection for one territory.
+fn select_cut_point(
+    g: &DiversityGraph,
+    territory: &[NodeId],
+    candidates: &[NodeId],
+    parent_cut: Option<NodeId>,
+    config: &CutConfig,
+    scratch: &mut Territory,
+) -> NodeId {
+    debug_assert!(!candidates.is_empty());
+    match parent_cut {
+        None if config.root_heuristic == RootHeuristic::First => candidates[0],
+        Some(_) if config.child_heuristic == ChildHeuristic::First => candidates[0],
+        None => {
+            // Root: minimize the largest remaining component.
+            let sampled = sample_candidates(candidates, config.selection_scan_cap);
+            let mut best = sampled[0];
+            let mut best_max = usize::MAX;
+            for &v in &sampled {
+                let comps = sub_components(g, territory, v, scratch);
+                let max = comps.iter().map(|c| c.len()).max().unwrap_or(0);
+                if max < best_max {
+                    best_max = max;
+                    best = v;
+                }
+            }
+            best
+        }
+        Some(p) => {
+            // Child: optimize the entry-graph size per the heuristic.
+            let sampled = sample_candidates(candidates, config.selection_scan_cap);
+            let want_largest = config.child_heuristic == ChildHeuristic::LargestEntryGraph;
+            let mut best = sampled[0];
+            let mut best_size: Option<usize> = None;
+            for &v in &sampled {
+                let comps = sub_components(g, territory, v, scratch);
+                let entry: usize = comps
+                    .iter()
+                    .filter(|c| c.iter().any(|&x| g.are_adjacent(x, p)))
+                    .map(|c| c.len())
+                    .sum();
+                let better = match best_size {
+                    None => true,
+                    Some(cur) => {
+                        if want_largest {
+                            entry > cur
+                        } else {
+                            entry < cur
+                        }
+                    }
+                };
+                if better {
+                    best_size = Some(entry);
+                    best = v;
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Algorithm 9, iterative: builds the cptree arena for one connected graph.
+///
+/// Children are always appended after their parent, so iterating the arena
+/// in reverse index order visits children before parents (a post-order).
+pub(crate) fn construct_cptree(
+    g: &DiversityGraph,
+    cut_points: &[NodeId],
+    config: &CutConfig,
+) -> Vec<CpNode> {
+    let n = g.len();
+    let mut is_cp = vec![false; n];
+    for &c in cut_points {
+        is_cp[c as usize] = true;
+    }
+    let mut scratch = Territory::new(n);
+    let mut arena: Vec<CpNode> = Vec::new();
+
+    struct WorkItem {
+        territory: Vec<NodeId>,
+        parent: Option<usize>,
+        parent_cut: Option<NodeId>,
+    }
+    let mut work = vec![WorkItem {
+        territory: g.nodes().collect(),
+        parent: None,
+        parent_cut: None,
+    }];
+
+    while let Some(item) = work.pop() {
+        let candidates: Vec<NodeId> = item
+            .territory
+            .iter()
+            .copied()
+            .filter(|&v| is_cp[v as usize])
+            .collect();
+        debug_assert!(
+            !candidates.is_empty(),
+            "work items are only created for territories containing cut points"
+        );
+        let v = select_cut_point(
+            g,
+            &item.territory,
+            &candidates,
+            item.parent_cut,
+            config,
+            &mut scratch,
+        );
+        let comps = sub_components(g, &item.territory, v, &mut scratch);
+        let mut entry_graph: Vec<NodeId> = Vec::new();
+        let mut rest: Vec<Vec<NodeId>> = Vec::new();
+        for comp in comps {
+            let is_entry = match item.parent_cut {
+                Some(p) => comp.iter().any(|&x| g.are_adjacent(x, p)),
+                None => false,
+            };
+            if is_entry {
+                entry_graph.extend(comp);
+            } else {
+                rest.push(comp);
+            }
+        }
+        entry_graph.sort_unstable();
+
+        let idx = arena.len();
+        arena.push(CpNode {
+            cut_point: v,
+            entry_graph,
+            left_graph: Vec::new(),
+            children: Vec::new(),
+        });
+        if let Some(p) = item.parent {
+            arena[p].children.push(idx);
+        }
+        let mut left: Vec<NodeId> = Vec::new();
+        for comp in rest {
+            if comp.iter().any(|&x| is_cp[x as usize]) {
+                work.push(WorkItem {
+                    territory: comp,
+                    parent: Some(idx),
+                    parent_cut: Some(v),
+                });
+            } else {
+                left.extend(comp);
+            }
+        }
+        left.sort_unstable();
+        arena[idx].left_graph = left;
+    }
+    arena
+}
+
+/// Adjusts the mark counters around `v`'s neighborhood.
+fn mark_adjacent(g: &DiversityGraph, marks: &mut [u32], v: NodeId, add: bool) {
+    for &nb in g.neighbors(v) {
+        if add {
+            marks[nb as usize] += 1;
+        } else {
+            debug_assert!(marks[nb as usize] > 0, "unbalanced unmark");
+            marks[nb as usize] -= 1;
+        }
+    }
+}
+
+/// `remove-mark(subgraph)` + recursive `div-cut`: searches the unmarked
+/// nodes of `node_set` and maps the table back to this graph's ids.
+#[allow(clippy::too_many_arguments)]
+fn search_filtered(
+    g: &DiversityGraph,
+    node_set: &[NodeId],
+    marks: &[u32],
+    k: usize,
+    config: &CutConfig,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+    depth: usize,
+) -> Result<SearchResult, SearchError> {
+    let keep: Vec<NodeId> = node_set
+        .iter()
+        .copied()
+        .filter(|&v| marks[v as usize] == 0)
+        .collect();
+    if keep.is_empty() {
+        return Ok(SearchResult::empty(k));
+    }
+    let (sub, map) = g.induced_subgraph(&keep);
+    let local = div_cut_ledger(&sub, k, config, ledger, metrics, depth + 1)?;
+    Ok(local.map_nodes(&map))
+}
+
+/// Algorithm 10, iterative bottom-up over the arena.
+fn cp_search(
+    g: &DiversityGraph,
+    tree: &[CpNode],
+    k: usize,
+    config: &CutConfig,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+    depth: usize,
+) -> Result<SearchResult, SearchError> {
+    let mut marks = vec![0u32; g.len()];
+    let mut results: Vec<Option<[SearchResult; 2]>> = Vec::new();
+    results.resize_with(tree.len(), || None);
+
+    for idx in (0..tree.len()).rev() {
+        ledger.check_deadline()?;
+        let node = &tree[idx];
+        let mut pair = [SearchResult::empty(k), SearchResult::empty(k)];
+        for include in [false, true] {
+            if include {
+                mark_adjacent(g, &mut marks, node.cut_point, true);
+            }
+            // Left graph under the current marks (Algorithm 10 line 6).
+            let mut r = search_filtered(
+                g,
+                &node.left_graph,
+                &marks,
+                k,
+                config,
+                ledger,
+                metrics,
+                depth,
+            )?;
+            for &child_idx in &node.children {
+                let child = &tree[child_idx];
+                let child_results = results[child_idx]
+                    .as_ref()
+                    .expect("children are processed before parents");
+                let mut alt: Option<SearchResult> = None;
+                for child_include in [false, true] {
+                    // Both cut points included but adjacent → infeasible
+                    // (lines 10–11).
+                    if child_include
+                        && include
+                        && g.are_adjacent(node.cut_point, child.cut_point)
+                    {
+                        break;
+                    }
+                    if child_include {
+                        mark_adjacent(g, &mut marks, child.cut_point, true);
+                    }
+                    let entry = search_filtered(
+                        g,
+                        &child.entry_graph,
+                        &marks,
+                        k,
+                        config,
+                        ledger,
+                        metrics,
+                        depth,
+                    )?;
+                    let branch = combine_disjoint(
+                        &child_results[usize::from(child_include)],
+                        &entry,
+                    );
+                    metrics.plus_ops += 1;
+                    alt = Some(match alt {
+                        None => branch,
+                        Some(prev) => {
+                            metrics.otimes_ops += 1;
+                            combine_alternative(&prev, &branch)
+                        }
+                    });
+                    if child_include {
+                        mark_adjacent(g, &mut marks, child.cut_point, false);
+                    }
+                }
+                let alt = alt.expect("child_include=false always runs");
+                combine_disjoint_in_place(&mut r, &alt);
+                metrics.plus_ops += 1;
+            }
+            if include {
+                r = r.shift_include(node.cut_point, g.score(node.cut_point));
+                mark_adjacent(g, &mut marks, node.cut_point, false);
+            }
+            pair[usize::from(include)] = r;
+        }
+        results[idx] = Some(pair);
+    }
+
+    let [r0, r1] = results[0].take().expect("root processed last");
+    metrics.otimes_ops += 1;
+    Ok(combine_alternative(&r0, &r1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use crate::score::Score;
+    use crate::testgen;
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    /// The paper's Fig. 8 graph, reconstructed from Examples 4–5 and
+    /// Figs. 9/11: `G′1` is the Fig. 1 graph (v1..v6), `G′2` is Fig. 6's G2
+    /// (u1..u5), the hub `w2` (13) is adjacent to v2, v4, u2, u3;
+    /// `w1` (12) duplicates `w2`'s neighborhood and is dominated by it;
+    /// pendant chains w4–w3 hang off v6 and w5–w6 off u5.
+    ///
+    /// Returns `(graph, perm)` with `perm[new_id] = index into NAMES`.
+    pub(crate) fn fig8_graph() -> (DiversityGraph, Vec<u32>) {
+        // Indices into `scores`: 0..5 = v1..v6, 6..10 = u1..u5,
+        // 11 = w1, 12 = w2, 13 = w3, 14 = w4, 15 = w5, 16 = w6.
+        let scores = [
+            s(10),
+            s(8),
+            s(7),
+            s(7),
+            s(6),
+            s(1), // v1..v6
+            s(10),
+            s(9),
+            s(8),
+            s(7),
+            s(6), // u1..u5
+            s(12),
+            s(13),
+            s(1),
+            s(1),
+            s(1),
+            s(1), // w1, w2, w3, w4, w5, w6
+        ];
+        let edges = [
+            // G′1 (Fig. 1 edges).
+            (0u32, 2u32),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (3, 5),
+            (4, 5),
+            // G′2 (Fig. 6's G2 edges).
+            (6, 7),
+            (6, 9),
+            (6, 10),
+            (7, 8),
+            (8, 9),
+            (8, 10),
+            // Hub w2 and its shadow w1.
+            (12, 1),
+            (12, 3),
+            (12, 7),
+            (12, 8),
+            (12, 11),
+            (11, 1),
+            (11, 3),
+            (11, 7),
+            (11, 8),
+            // Pendant chains.
+            (14, 5),
+            (14, 13),
+            (15, 10),
+            (15, 16),
+        ];
+        DiversityGraph::from_unsorted_scores(&scores, &edges)
+    }
+
+    #[test]
+    fn fig11_final_table() {
+        // Fig. 11's final (⊗-combined) table for k = 5:
+        // sizes 1..5 score 13, 23, 33, 36, 40.
+        let (g, _) = fig8_graph();
+        let r = div_cut(&g, 5);
+        assert_eq!(r.prefix_best_score(1), s(13));
+        assert_eq!(r.prefix_best_score(2), s(23));
+        assert_eq!(r.prefix_best_score(3), s(33));
+        assert_eq!(r.prefix_best_score(4), s(36));
+        assert_eq!(r.prefix_best_score(5), s(40));
+        assert_eq!(r.best().score(), s(40));
+        r.assert_well_formed(Some(&g));
+        // Cross-check the whole table against the oracle.
+        let want = exhaustive(&g, 5);
+        for i in 0..=5 {
+            assert_eq!(r.prefix_best_score(i), want.prefix_best_score(i));
+        }
+    }
+
+    #[test]
+    fn fig9_compression_removes_w1() {
+        // Example 4 removes w1 (dominated by w2). A *fixpoint* of Lemma 7
+        // is stronger than the paper's one-step illustration: with all
+        // pendant scores equal to 1, leaf w3 also dominates its support w4
+        // (N[w3] = {w3, w4} ⊆ N[w4], scores tie) and w6 dominates w5 — so
+        // our compression removes {w1, w4, w5}. Exactness is untouched
+        // (`fig11_final_table` checks the optimum against the oracle).
+        let (g, perm) = fig8_graph();
+        let kept = compress(&g);
+        let removed: Vec<u32> = g
+            .nodes()
+            .filter(|v| !kept.contains(v))
+            .map(|v| perm[v as usize])
+            .collect();
+        let w1 = 11u32;
+        assert!(removed.contains(&w1), "w1 must be compressed away");
+        let mut removed = removed;
+        removed.sort_unstable();
+        assert_eq!(removed, vec![w1, 14, 15]); // w1, w4 (leaf w3 wins), w5
+    }
+
+    #[test]
+    fn fig11_cptree_shape() {
+        // The paper's Fig. 9/11 apply only Example 4's single removal (w1).
+        // Reproduce exactly that state and check the cptree is
+        // w2 → {w4, w5} with entry graphs G′1 (6 nodes) / G′2 (5 nodes)
+        // and left graphs {w3} / {w6} (Fig. 11, leftmost panel).
+        let (g, perm) = fig8_graph();
+        let w1_new = perm.iter().position(|&o| o == 11).unwrap() as NodeId;
+        let kept: Vec<NodeId> = g.nodes().filter(|&v| v != w1_new).collect();
+        let (cg, map) = g.induced_subgraph(&kept);
+        // Identify original labels in compressed-graph id space.
+        let orig_of = |cid: NodeId| perm[map[cid as usize] as usize];
+        let cps = articulation_points(&cg);
+        let tree = construct_cptree(&cg, &cps, &CutConfig::default());
+        assert_eq!(orig_of(tree[0].cut_point), 12, "root must be w2");
+        assert_eq!(tree[0].children.len(), 2);
+        assert!(tree[0].entry_graph.is_empty());
+        assert!(tree[0].left_graph.is_empty());
+        let mut child_info: Vec<(u32, usize, Vec<u32>)> = tree[0]
+            .children
+            .iter()
+            .map(|&c| {
+                (
+                    orig_of(tree[c].cut_point),
+                    tree[c].entry_graph.len(),
+                    tree[c]
+                        .left_graph
+                        .iter()
+                        .map(|&v| orig_of(v))
+                        .collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
+        child_info.sort();
+        // w4 (index 14): entry = G′1 (v1..v6, 6 nodes), left = {w3 = 13}.
+        // w5 (index 15): entry = G′2 (u1..u5, 5 nodes), left = {w6 = 16}.
+        assert_eq!(child_info[0], (14, 6, vec![13]));
+        assert_eq!(child_info[1], (15, 5, vec![16]));
+    }
+
+    /// Structural invariants of the cptree over one connected graph:
+    /// 1. cut points + entry graphs + left graphs partition the node set;
+    /// 2. every neighbor of a node's cut point inside a child's territory
+    ///    lies in that child's entry graph or is the child's cut point
+    ///    (the property cp-search's bottom-up reuse relies on).
+    fn assert_cptree_invariants(g: &DiversityGraph, tree: &[CpNode]) {
+        use std::collections::HashSet;
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for node in tree {
+            for &v in std::iter::once(&node.cut_point)
+                .chain(&node.entry_graph)
+                .chain(&node.left_graph)
+            {
+                assert!(seen.insert(v), "node {v} appears twice in the cptree");
+            }
+        }
+        assert_eq!(seen.len(), g.len(), "cptree must cover every node");
+
+        // Invariant 2: parent's cut-point neighbors within each child's
+        // subtree lie in the child's entry graph ∪ {child.cut_point}.
+        for (idx, node) in tree.iter().enumerate() {
+            for &child_idx in &node.children {
+                // Collect the child's full subtree coverage.
+                let mut coverage: HashSet<NodeId> = HashSet::new();
+                let mut stack = vec![child_idx];
+                while let Some(i) = stack.pop() {
+                    let c = &tree[i];
+                    coverage.insert(c.cut_point);
+                    coverage.extend(&c.entry_graph);
+                    coverage.extend(&c.left_graph);
+                    stack.extend(&c.children);
+                }
+                let child = &tree[child_idx];
+                let entry: HashSet<NodeId> = child.entry_graph.iter().copied().collect();
+                for &nb in g.neighbors(node.cut_point) {
+                    if coverage.contains(&nb) {
+                        assert!(
+                            entry.contains(&nb) || nb == child.cut_point,
+                            "cpnode {idx}: parent-adjacent node {nb} deep in child {child_idx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cptree_invariants_on_random_connected_graphs() {
+        for seed in 0..40 {
+            let g = testgen::random_graph(18, 0.12, 3000 + seed);
+            for comp in crate::components::connected_components(&g) {
+                let (sub, _) = g.induced_subgraph(&comp);
+                let cps = articulation_points(&sub);
+                if cps.is_empty() {
+                    continue;
+                }
+                let tree = construct_cptree(&sub, &cps, &CutConfig::default());
+                assert_cptree_invariants(&sub, &tree);
+            }
+        }
+        // Paths exercise deep chains.
+        for n in [10usize, 40, 120] {
+            let g = testgen::path_graph(n, n as u64 + 5);
+            let cps = articulation_points(&g);
+            let tree = construct_cptree(&g, &cps, &CutConfig::default());
+            assert_cptree_invariants(&g, &tree);
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_graphs() {
+        for seed in 0..30 {
+            let g = testgen::random_graph(14, 0.2, seed);
+            for k in [1, 3, 5, 9, 14] {
+                let got = div_cut(&g, k);
+                let want = exhaustive(&g, k);
+                got.assert_well_formed(Some(&g));
+                for i in 0..=k {
+                    assert_eq!(
+                        got.prefix_best_score(i),
+                        want.prefix_best_score(i),
+                        "seed {seed} k {k} size {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_clustered_graphs() {
+        let config = testgen::ClusterConfig {
+            clusters: 3,
+            cluster_size: 5,
+            intra_p: 0.7,
+            bridges: 3,
+            singletons: 2,
+        };
+        for seed in 0..20 {
+            let g = testgen::planted_clusters(&config, seed);
+            let got = div_cut(&g, 6);
+            let want = exhaustive(&g, 6);
+            for i in 0..=6 {
+                assert_eq!(
+                    got.prefix_best_score(i),
+                    want.prefix_best_score(i),
+                    "seed {seed} size {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_paths_and_stars() {
+        for n in [2usize, 3, 5, 9, 16] {
+            let g = testgen::path_graph(n, n as u64);
+            let got = div_cut(&g, n);
+            let want = exhaustive(&g, n);
+            for i in 0..=n {
+                assert_eq!(got.prefix_best_score(i), want.prefix_best_score(i), "path n={n} i={i}");
+            }
+        }
+        let g = testgen::star_chain(12);
+        let got = div_cut(&g, 12);
+        let want = exhaustive(&g, 12);
+        assert_eq!(got.best().score(), want.best().score());
+    }
+
+    #[test]
+    fn all_heuristic_combinations_are_exact() {
+        let heuristics = [
+            (RootHeuristic::MinMaxComponent, ChildHeuristic::LargestEntryGraph),
+            (RootHeuristic::MinMaxComponent, ChildHeuristic::SmallestEntryGraph),
+            (RootHeuristic::First, ChildHeuristic::First),
+            (RootHeuristic::First, ChildHeuristic::LargestEntryGraph),
+        ];
+        for seed in 0..12 {
+            let g = testgen::random_graph(12, 0.18, seed);
+            let want = exhaustive(&g, 6);
+            for (root, child) in heuristics {
+                let config = CutConfig {
+                    root_heuristic: root,
+                    child_heuristic: child,
+                    ..CutConfig::default()
+                };
+                let (got, _) =
+                    div_cut_configured(&g, 6, &config, &SearchLimits::unlimited()).unwrap();
+                for i in 0..=6 {
+                    assert_eq!(
+                        got.prefix_best_score(i),
+                        want.prefix_best_score(i),
+                        "seed {seed} {root:?}/{child:?} size {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compression_off_is_still_exact() {
+        let config = CutConfig {
+            compress: false,
+            ..CutConfig::default()
+        };
+        for seed in 0..12 {
+            let g = testgen::random_graph(13, 0.25, seed);
+            let (got, _) = div_cut_configured(&g, 6, &config, &SearchLimits::unlimited()).unwrap();
+            let want = exhaustive(&g, 6);
+            for i in 0..=6 {
+                assert_eq!(got.prefix_best_score(i), want.prefix_best_score(i));
+            }
+        }
+    }
+
+    #[test]
+    fn nest_depth_fallback_is_exact() {
+        let config = CutConfig {
+            max_nest_depth: 1,
+            ..CutConfig::default()
+        };
+        for seed in 0..8 {
+            let g = testgen::random_graph(12, 0.15, seed);
+            let (got, _) = div_cut_configured(&g, 6, &config, &SearchLimits::unlimited()).unwrap();
+            let want = exhaustive(&g, 6);
+            assert_eq!(got.best().score(), want.best().score(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budgets_propagate() {
+        let g = testgen::planted_clusters(&testgen::ClusterConfig::default(), 3);
+        let limits = SearchLimits {
+            max_expansions: Some(1),
+            ..SearchLimits::default()
+        };
+        assert!(div_cut_limited(&g, 10, &limits).is_err());
+    }
+
+    #[test]
+    fn metrics_record_decomposition() {
+        let (g, _) = fig8_graph();
+        let (_, m) = div_cut_limited(&g, 5, &SearchLimits::unlimited()).unwrap();
+        assert_eq!(m.compressed_nodes, 3); // w1, w4, w5 (fixpoint of Lemma 7)
+        assert!(m.cptree_nodes >= 1); // at least the hub w2
+        assert!(m.plus_ops > 0);
+        assert!(m.otimes_ops > 0);
+    }
+
+    #[test]
+    fn metrics_on_paper_compressed_graph() {
+        // With only w1 removed (the paper's illustration), the cptree has
+        // the three nodes of Fig. 11 and compression inside div-cut then
+        // still removes w4/w5 within sub-searches.
+        let (g, perm) = fig8_graph();
+        let w1_new = perm.iter().position(|&o| o == 11).unwrap() as NodeId;
+        let kept: Vec<NodeId> = g.nodes().filter(|&v| v != w1_new).collect();
+        let (cg, _) = g.induced_subgraph(&kept);
+        let config = CutConfig {
+            compress: false,
+            ..CutConfig::default()
+        };
+        let (r, m) =
+            div_cut_configured(&cg, 5, &config, &SearchLimits::unlimited()).unwrap();
+        assert_eq!(r.prefix_best_score(5), s(40));
+        assert!(m.cptree_nodes >= 3, "w2, w4, w5 at least; got {}", m.cptree_nodes);
+    }
+
+    #[test]
+    fn moderate_path_graph_is_exact_and_fast() {
+        // Every interior node is a cut point: exercises deep cptrees.
+        let g = testgen::path_graph(60, 9);
+        let got = div_cut(&g, 20);
+        let want = crate::dp::div_dp(&g, 20);
+        for i in 0..=20 {
+            assert_eq!(got.prefix_best_score(i), want.prefix_best_score(i), "size {i}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Cut points (articulation points) via Tarjan's algorithm (§7).
+//!
+//! `div-cut` decomposes each connected component along cut points. The
+//! classical low-link computation runs in `O(V + E)`; the implementation is
+//! fully iterative so adversarial inputs (long paths — every interior node
+//! is a cut point) cannot overflow the stack.
+
+use crate::graph::{DiversityGraph, NodeId};
+
+/// Returns all articulation points of `g`, ascending by node id.
+///
+/// Works on disconnected graphs (each component is rooted separately). A
+/// node `v` is an articulation point iff removing it increases the number
+/// of connected components.
+pub fn articulation_points(g: &DiversityGraph) -> Vec<NodeId> {
+    let n = g.len();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; discovery times start at 1
+    let mut low = vec![0u32; n];
+    let mut is_cut = vec![false; n];
+    let mut time = 0u32;
+    // DFS frame: (node, parent, index of next neighbor to examine).
+    let mut stack: Vec<(NodeId, NodeId, usize)> = Vec::new();
+    const NO_PARENT: NodeId = NodeId::MAX;
+
+    for root in 0..n as NodeId {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        time += 1;
+        disc[root as usize] = time;
+        low[root as usize] = time;
+        stack.push((root, NO_PARENT, 0));
+        let mut root_children = 0usize;
+
+        while let Some(frame) = stack.last_mut() {
+            let (v, parent, idx) = (frame.0, frame.1, frame.2);
+            let neighbors = g.neighbors(v);
+            if idx < neighbors.len() {
+                frame.2 += 1;
+                let w = neighbors[idx];
+                if disc[w as usize] == 0 {
+                    // Tree edge: descend.
+                    time += 1;
+                    disc[w as usize] = time;
+                    low[w as usize] = time;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push((w, v, 0));
+                } else if w != parent {
+                    // Back edge.
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                // Finished v: propagate low-link to the parent.
+                stack.pop();
+                if let Some(pframe) = stack.last_mut() {
+                    let p = pframe.0;
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if p != root && low[v as usize] >= disc[p as usize] {
+                        is_cut[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root as usize] = true;
+        }
+    }
+
+    (0..n as NodeId).filter(|&v| is_cut[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::score::Score;
+    use crate::testgen;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> DiversityGraph {
+        let scores = (0..n).map(|i| Score::from((n - i) as u32)).collect();
+        DiversityGraph::from_sorted_scores(scores, edges)
+    }
+
+    /// Brute-force articulation check: remove each node and count components.
+    fn brute_force(g: &DiversityGraph) -> Vec<NodeId> {
+        let base = connected_components(g).len();
+        let mut out = Vec::new();
+        for v in g.nodes() {
+            let keep: Vec<NodeId> = g.nodes().filter(|&u| u != v).collect();
+            let (sub, _) = g.induced_subgraph(&keep);
+            // Removing an isolated node reduces component count by one; an
+            // articulation point *increases* it net of the removed node.
+            let removed_isolated = g.degree(v) == 0;
+            let after = connected_components(&sub).len();
+            let expected_if_not_cut = if removed_isolated { base - 1 } else { base };
+            if after > expected_if_not_cut {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(articulation_points(&graph(0, &[])).is_empty());
+        assert!(articulation_points(&graph(1, &[])).is_empty());
+    }
+
+    #[test]
+    fn path_interior_nodes_are_cut_points() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_has_no_cut_points() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn star_center_is_cut_point() {
+        let g = graph(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(articulation_points(&g), vec![0]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        // 0-1-2 triangle, 2-3-4 triangle → 2 is the cut point.
+        let g = graph(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert_eq!(articulation_points(&g), vec![2]);
+    }
+
+    #[test]
+    fn disconnected_graph_handles_all_components() {
+        // Path 0-1-2 and star 3-(4,5,6).
+        let g = graph(7, &[(0, 1), (1, 2), (3, 4), (3, 5), (3, 6)]);
+        assert_eq!(articulation_points(&g), vec![1, 3]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..30 {
+            let g = testgen::random_graph(14, 0.18, seed);
+            assert_eq!(
+                articulation_points(&g),
+                brute_force(&g),
+                "seed {seed}"
+            );
+        }
+        for seed in 0..10 {
+            let g = testgen::planted_clusters(&testgen::ClusterConfig::default(), seed);
+            assert_eq!(articulation_points(&g), brute_force(&g), "clusters seed {seed}");
+        }
+    }
+
+    #[test]
+    fn long_path_does_not_overflow_stack() {
+        let g = testgen::path_graph(50_000, 1);
+        let cps = articulation_points(&g);
+        assert_eq!(cps.len(), 49_998); // all interior nodes
+    }
+}

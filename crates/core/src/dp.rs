@@ -1,0 +1,185 @@
+//! `div-dp` — connected-component decomposition + dynamic programming
+//! (Algorithm 7, §6).
+//!
+//! Independent sets never cross component boundaries, so each connected
+//! component is searched independently with `div-astar` and the per-size
+//! tables are folded together with the `⊕` operator (commutative and
+//! associative, so fold order is free). The search space shrinks from
+//! exponential in `|V(G)|` to exponential in the largest component.
+
+use crate::astar::{div_astar_ledger, AStarConfig};
+use crate::components::connected_components;
+use crate::error::SearchError;
+use crate::graph::DiversityGraph;
+use crate::limits::{BudgetLedger, SearchLimits};
+use crate::metrics::SearchMetrics;
+use crate::ops::combine_disjoint_in_place;
+use crate::solution::SearchResult;
+
+/// Exact diversified top-k via component decomposition, no limits.
+pub fn div_dp(g: &DiversityGraph, k: usize) -> SearchResult {
+    let mut metrics = SearchMetrics::default();
+    let mut ledger = SearchLimits::unlimited().start();
+    div_dp_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)
+        .expect("unlimited search cannot exhaust budgets")
+}
+
+/// Exact diversified top-k via component decomposition under budgets.
+pub fn div_dp_limited(
+    g: &DiversityGraph,
+    k: usize,
+    limits: &SearchLimits,
+) -> Result<(SearchResult, SearchMetrics), SearchError> {
+    let mut metrics = SearchMetrics::default();
+    let mut ledger = limits.start();
+    let result = div_dp_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)?;
+    Ok((result, metrics))
+}
+
+pub(crate) fn div_dp_ledger(
+    g: &DiversityGraph,
+    k: usize,
+    config: &AStarConfig,
+    ledger: &mut BudgetLedger,
+    metrics: &mut SearchMetrics,
+) -> Result<SearchResult, SearchError> {
+    let mut combined = SearchResult::empty(k);
+    if k == 0 {
+        return Ok(combined);
+    }
+    for comp in connected_components(g) {
+        let (sub, map) = g.induced_subgraph(&comp);
+        let local = div_astar_ledger(&sub, k, config, ledger, metrics)?;
+        let global = local.map_nodes(&map);
+        combine_disjoint_in_place(&mut combined, &global);
+        metrics.plus_ops += 1;
+        ledger.check_deadline()?;
+    }
+    Ok(combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use crate::score::Score;
+    use crate::testgen;
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    /// Builds the two-component graph of Fig. 6: G1 = v1..v6 (scores
+    /// 10,8,7,7,6,1 — the Fig. 1 graph) and G2 = u1..u5 (scores 10,9,8,7,6)
+    /// wired so that D2 of G2 = {u1, u3} = 18 and D3 = {u2, u4, u5} = 22,
+    /// matching the tables of Fig. 7.
+    fn fig6_graph() -> DiversityGraph {
+        // Global sorted scores: u1=10, v1=10, u2=9, u3=8, v2=8, u4=7, u5=6,
+        // v3=7, v4=7, v5=6, v6=1 — interleaved. Easier: build unsorted and
+        // let the constructor relabel.
+        let scores = [
+            s(10), // 0: v1
+            s(8),  // 1: v2
+            s(7),  // 2: v3
+            s(7),  // 3: v4
+            s(6),  // 4: v5
+            s(1),  // 5: v6
+            s(10), // 6: u1
+            s(9),  // 7: u2
+            s(8),  // 8: u3
+            s(7),  // 9: u4
+            s(6),  // 10: u5
+        ];
+        let edges = [
+            // G1 = Fig. 1 edges.
+            (0u32, 2u32),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (3, 5),
+            (4, 5),
+            // G2: from Fig. 7, D1 = {u1} = 10, D2 = {u1, u3} = 18,
+            // D3 = {u2, u4, u5} = 22, D4 = ∅ (no independent set of 4).
+            // Edges achieving this: u1-u2, u1-u4, u1-u5, u2-u3, u3-u4, u3-u5.
+            (6, 7),
+            (6, 9),
+            (6, 10),
+            (7, 8),
+            (8, 9),
+            (8, 10),
+        ];
+        DiversityGraph::from_unsorted_scores(&scores, &edges).0
+    }
+
+    #[test]
+    fn fig7_example3_combination() {
+        // Example 3: k = 5, combining D1 (G1) and D2 (G2) gives
+        // D.solution_5 with score 40 = 18 (2 nodes from G1) + 22 (3 from G2).
+        let g = fig6_graph();
+        let r = div_dp(&g, 5);
+        assert_eq!(r.score(5), Some(s(40)));
+        assert_eq!(r.prefix_best_score(5), s(40));
+        // Fig. 7's combined table: sizes 1..5 = 10, 20, 28, 36, 40.
+        assert_eq!(r.score(1), Some(s(10)));
+        assert_eq!(r.score(2), Some(s(20)));
+        assert_eq!(r.score(3), Some(s(28)));
+        assert_eq!(r.score(4), Some(s(36)));
+        r.assert_well_formed(Some(&g));
+    }
+
+    #[test]
+    fn matches_astar_on_multi_component_graphs() {
+        for seed in 0..25 {
+            // Sparse → many components.
+            let g = testgen::random_graph(16, 0.12, seed);
+            for k in [1, 3, 6, 10] {
+                let dp = div_dp(&g, k);
+                let want = exhaustive(&g, k);
+                dp.assert_well_formed(Some(&g));
+                for i in 0..=k {
+                    assert_eq!(
+                        dp.prefix_best_score(i),
+                        want.prefix_best_score(i),
+                        "seed {seed} k {k} size {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_graph() {
+        let g = testgen::random_graph(6, 0.2, 3);
+        let r = div_dp(&g, 10);
+        let want = exhaustive(&g, 10);
+        assert_eq!(r.best().score(), want.best().score());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiversityGraph::from_sorted_scores(vec![], &[]);
+        assert_eq!(div_dp(&g, 4).best().len(), 0);
+    }
+
+    #[test]
+    fn budget_propagates_to_components() {
+        let g = testgen::star_chain(50);
+        let limits = SearchLimits {
+            max_expansions: Some(2),
+            ..SearchLimits::default()
+        };
+        assert!(div_dp_limited(&g, 25, &limits).is_err());
+    }
+
+    #[test]
+    fn metrics_count_components() {
+        // 3 isolated nodes → 3 components → 3 astar calls, 3 ⊕ folds.
+        let g = DiversityGraph::from_sorted_scores(vec![s(3), s(2), s(1)], &[]);
+        let (r, m) = div_dp_limited(&g, 2, &SearchLimits::unlimited()).unwrap();
+        assert_eq!(r.best().score(), s(5));
+        assert_eq!(m.astar_calls, 3);
+        assert_eq!(m.plus_ops, 3);
+    }
+}

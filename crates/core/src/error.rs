@@ -1,0 +1,44 @@
+//! Error types for diversified top-k search.
+
+use std::fmt;
+
+/// Why a search could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// A configured resource budget was exhausted before the exact answer
+    /// was found. This is the library analogue of the paper's `INF` entries
+    /// (runs that exhausted the 2 GB testbed memory).
+    ResourceExhausted(ExhaustedResource),
+    /// The requested `k` is invalid for this operation (e.g. `k == 0` where
+    /// a non-empty result is required).
+    InvalidK { k: usize },
+}
+
+/// Which budget from [`crate::limits::SearchLimits`] ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustedResource {
+    /// The A* heap grew past `max_heap_entries`.
+    HeapEntries,
+    /// More than `max_expansions` partial solutions were expanded.
+    Expansions,
+    /// The wall-clock `deadline` passed.
+    Deadline,
+    /// Estimated working-set bytes exceeded `max_bytes`.
+    Bytes,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::ResourceExhausted(r) => {
+                write!(f, "search aborted: resource budget exhausted ({r:?})")
+            }
+            SearchError::InvalidK { k } => write!(f, "invalid k: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Convenient result alias for search entry points.
+pub type SearchOutcome<T> = Result<T, SearchError>;

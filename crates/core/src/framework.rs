@@ -1,0 +1,719 @@
+//! The `div-search` framework (Algorithm 3, §4).
+//!
+//! Wraps any [`ResultSource`] (incremental or bounding) and turns its plain
+//! top-k stream into an **exact diversified** top-k with early stopping:
+//!
+//! 1. pull results one at a time, growing the diversity graph;
+//! 2. when the **necessary** condition (Lemma 3) says a stop is even
+//!    possible, run `div-search-current()` (one of the exact algorithms) on
+//!    the current graph;
+//! 3. stop as soon as the **sufficient** condition (Lemma 1/Eq. 2) proves
+//!    no unseen result can improve the answer:
+//!    `score(D(S)) ≥ best(S) = max_{0≤i≤k} { score(D_i(S)) + (k−i)·u }`.
+//!
+//! Deviations from the paper, both on the safe side (see DESIGN.md §4):
+//! the `i = 0` term (`k·u`) is included so bounding sources whose seen
+//! scores all trail `u` cannot stop prematurely, and the reported unseen
+//! bound is clamped to be non-increasing (Lemma 2 assumes the source
+//! behaves; we do not trust it).
+
+use crate::astar::div_astar_ledger;
+use crate::astar::AStarConfig;
+use crate::cut::{div_cut_ledger, CutConfig};
+use crate::dp::div_dp_ledger;
+use crate::error::SearchError;
+use crate::graph::DiversityGraph;
+use crate::limits::SearchLimits;
+use crate::metrics::{FrameworkMetrics, SearchMetrics};
+use crate::score::Score;
+use crate::sim::Similarity;
+use crate::solution::SearchResult;
+use crate::sources::{ResultSource, Scored, UnseenBound};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which exact algorithm implements `div-search-current()`.
+///
+/// All three return tables satisfying the prefix-max contract, so the
+/// framework's stop conditions are sound with any of them. (The greedy
+/// heuristic is deliberately *not* an option here: its table carries no
+/// optimality guarantee, which would break Lemma 1's upper bound.)
+#[derive(Debug, Clone, Default)]
+pub enum ExactAlgorithm {
+    /// `div-astar` (Algorithm 4) on the whole graph.
+    AStar,
+    /// `div-dp` (Algorithm 7): per-component A\* + `⊕`.
+    Dp,
+    /// `div-cut` (Algorithm 8) with the given configuration.
+    #[default]
+    Cut,
+    /// `div-cut` with custom knobs.
+    CutConfigured(CutConfig),
+}
+
+impl ExactAlgorithm {
+    /// Runs the chosen algorithm on `g` under `limits`.
+    pub fn search(
+        &self,
+        g: &DiversityGraph,
+        k: usize,
+        limits: &SearchLimits,
+    ) -> Result<(SearchResult, SearchMetrics), SearchError> {
+        let mut metrics = SearchMetrics::default();
+        let mut ledger = limits.start();
+        let result = match self {
+            ExactAlgorithm::AStar => {
+                div_astar_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)?
+            }
+            ExactAlgorithm::Dp => {
+                div_dp_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)?
+            }
+            ExactAlgorithm::Cut => {
+                div_cut_ledger(g, k, &CutConfig::default(), &mut ledger, &mut metrics, 0)?
+            }
+            ExactAlgorithm::CutConfigured(config) => {
+                div_cut_ledger(g, k, config, &mut ledger, &mut metrics, 0)?
+            }
+        };
+        Ok((result, metrics))
+    }
+}
+
+/// Framework configuration.
+#[derive(Debug, Clone)]
+pub struct DivSearchConfig {
+    /// How many diversified results to return (`k`).
+    pub k: usize,
+    /// The inner exact search.
+    pub algorithm: ExactAlgorithm,
+    /// Budgets applied to **each** inner `div-search-current` invocation.
+    pub limits: SearchLimits,
+    /// Apply the necessary-condition gate (Lemma 3) before inner searches.
+    /// Disabling re-searches after every pulled result — ablation AB3.
+    pub use_necessary_gate: bool,
+    /// Additional throttle on top of Lemma 3: skip re-searching until the
+    /// unseen bound has decayed by this relative factor since the last
+    /// inner search (0.0 = paper behaviour, search whenever Lemma 3
+    /// allows). The sufficient condition typically fails only because `u`
+    /// is still large, so re-searching before `u` moves is wasted work;
+    /// a small decay (e.g. 0.01) trades a few extra pulled results for
+    /// orders of magnitude fewer inner searches at large `k`. Exactness is
+    /// unaffected — stopping is only ever *delayed*.
+    pub min_bound_decay: f64,
+    /// Cache per-component tables between inner searches
+    /// ([`crate::component_cache`]): only components touched by new results
+    /// are re-solved. Exactness is unaffected (property-tested); the inner
+    /// algorithm is effectively `div-cut` per component regardless of
+    /// [`DivSearchConfig::algorithm`] (whose `CutConfigured` knobs are
+    /// honored). Off by default — the paper's engine is stateless.
+    pub cache_components: bool,
+}
+
+impl DivSearchConfig {
+    /// Default configuration for a given `k` (div-cut, no budgets, gated,
+    /// no bound-decay throttle — the paper's behaviour).
+    pub fn new(k: usize) -> DivSearchConfig {
+        DivSearchConfig {
+            k,
+            algorithm: ExactAlgorithm::default(),
+            limits: SearchLimits::unlimited(),
+            use_necessary_gate: true,
+            min_bound_decay: 0.0,
+            cache_components: false,
+        }
+    }
+
+    /// Enables the incremental component cache (see
+    /// [`DivSearchConfig::cache_components`]).
+    pub fn with_component_cache(mut self) -> DivSearchConfig {
+        self.cache_components = true;
+        self
+    }
+
+    /// Sets the bound-decay throttle (see [`DivSearchConfig::min_bound_decay`]).
+    pub fn with_bound_decay(mut self, decay: f64) -> DivSearchConfig {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        self.min_bound_decay = decay;
+        self
+    }
+
+    /// Selects the inner algorithm.
+    pub fn with_algorithm(mut self, algorithm: ExactAlgorithm) -> DivSearchConfig {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets inner-search budgets.
+    pub fn with_limits(mut self, limits: SearchLimits) -> DivSearchConfig {
+        self.limits = limits;
+        self
+    }
+}
+
+/// The outcome of a diversified top-k run.
+#[derive(Debug)]
+pub struct DivSearchOutput<T> {
+    /// The diversified top-k results, highest score first. No two are
+    /// similar; the total score is maximal among all such subsets of the
+    /// *entire* result stream (seen or unseen) of size ≤ k.
+    pub selected: Vec<Scored<T>>,
+    /// Total score of `selected`.
+    pub total_score: Score,
+    /// Run statistics (results pulled, inner searches, early stop, …).
+    pub metrics: FrameworkMetrics,
+}
+
+/// The `div-search` engine: a source + a similarity predicate + a config.
+pub struct DivTopK<S: ResultSource, M> {
+    source: S,
+    similarity: M,
+    config: DivSearchConfig,
+}
+
+impl<S, M> DivTopK<S, M>
+where
+    S: ResultSource,
+    M: Similarity<S::Item>,
+{
+    /// Creates an engine.
+    pub fn new(source: S, similarity: M, config: DivSearchConfig) -> DivTopK<S, M> {
+        DivTopK {
+            source,
+            similarity,
+            config,
+        }
+    }
+
+    /// Runs Algorithm 3 to completion and returns the exact diversified
+    /// top-k. Consumes the engine (selected items are moved out).
+    ///
+    /// `config.limits.time_budget` bounds the **whole run** (pulls,
+    /// similarity checks and all inner searches together); the other
+    /// budgets apply to each inner search individually.
+    pub fn run(mut self) -> Result<DivSearchOutput<S::Item>, SearchError> {
+        use crate::error::ExhaustedResource;
+        let run_start = std::time::Instant::now();
+        let total_budget = self.config.limits.time_budget;
+        let k = self.config.k;
+        let mut metrics = FrameworkMetrics::default();
+        let mut items: Vec<Option<Scored<S::Item>>> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut scores: Vec<Score> = Vec::new();
+        let mut cache = self
+            .config
+            .cache_components
+            .then(crate::component_cache::ComponentCache::new);
+        let cache_cut_config = match &self.config.algorithm {
+            ExactAlgorithm::CutConfigured(c) => c.clone(),
+            _ => CutConfig::default(),
+        };
+        // Min-heap of the k largest scores seen (for Lemma 3's
+        // "k-th largest score in S ≥ u" test).
+        let mut topk: BinaryHeap<Reverse<Score>> = BinaryHeap::new();
+        // Monotone unseen bound (clamped per Lemma 2's assumption).
+        let mut unseen: Option<Score> = None; // None = unbounded
+        // Snapshot from the last inner search: |S'|, max feasible size, and
+        // the unseen bound at that time (for the decay throttle).
+        let mut last_search_len = 0usize;
+        let mut last_max_feasible = 0usize;
+        let mut last_search_bound: Option<Score> = None;
+        // Current D(S) in arrival-index space.
+        let mut current: Option<SearchResult> = None;
+
+        if k == 0 {
+            return Ok(DivSearchOutput {
+                selected: Vec::new(),
+                total_score: Score::ZERO,
+                metrics,
+            });
+        }
+
+        loop {
+            // The run-level deadline also covers the pull/similarity loop
+            // (a gated stretch with no inner searches must still respect
+            // the budget).
+            if let Some(total) = total_budget {
+                if run_start.elapsed() > total {
+                    return Err(SearchError::ResourceExhausted(ExhaustedResource::Deadline));
+                }
+            }
+            let pulled = self.source.next_result();
+            let exhausted = pulled.is_none();
+            if let Some(result) = pulled {
+                metrics.results_generated += 1;
+                let new_index = items.len() as u32;
+                let mut neighbors: Vec<u32> = Vec::new();
+                for (other_index, other) in items.iter().enumerate() {
+                    let other = other.as_ref().expect("items are only taken at the end");
+                    metrics.similarity_checks += 1;
+                    if self.similarity.similar(&other.item, &result.item) {
+                        neighbors.push(other_index as u32);
+                    }
+                }
+                if let Some(cache) = cache.as_mut() {
+                    cache.add_result(result.score, &neighbors);
+                } else {
+                    edges.extend(neighbors.iter().map(|&nb| (nb, new_index)));
+                }
+                scores.push(result.score);
+                if topk.len() < k {
+                    topk.push(Reverse(result.score));
+                } else if let Some(&Reverse(smallest)) = topk.peek() {
+                    if result.score > smallest {
+                        topk.pop();
+                        topk.push(Reverse(result.score));
+                    }
+                }
+                items.push(Some(result));
+            }
+            // Update the (clamped, monotone) unseen bound.
+            if let UnseenBound::At(bound) = self.source.unseen_bound() {
+                unseen = Some(match unseen {
+                    Some(prev) => prev.min(bound),
+                    None => bound,
+                });
+            }
+
+            // necessary(): is an early stop even possible right now?
+            // Always proceed when the stream ended (Lemma 3 condition 1 —
+            // final search) or when the gate is disabled (ablation AB3).
+            let proceed = if exhausted || !self.config.use_necessary_gate {
+                true
+            } else {
+                metrics.necessary_checks += 1;
+                let decayed = match (last_search_bound, unseen) {
+                    _ if self.config.min_bound_decay == 0.0 => true,
+                    (Some(prev), Some(now)) => {
+                        now.get() <= prev.get() * (1.0 - self.config.min_bound_decay)
+                    }
+                    _ => true,
+                };
+                decayed
+                    && necessary_holds(
+                        items.len(),
+                        last_search_len,
+                        last_max_feasible,
+                        k,
+                        &topk,
+                        unseen,
+                    )
+            };
+
+            // Skip a redundant final search when the stream ended right
+            // after an inner search over the very same result set.
+            let proceed =
+                proceed && !(exhausted && current.is_some() && last_search_len == items.len());
+
+            if proceed {
+                // The run-level time budget: hand each inner search only
+                // what remains of it.
+                let mut limits = self.config.limits.clone();
+                if let Some(total) = total_budget {
+                    let remaining = total.checked_sub(run_start.elapsed()).ok_or(
+                        SearchError::ResourceExhausted(ExhaustedResource::Deadline),
+                    )?;
+                    limits.time_budget = Some(remaining);
+                }
+                let mapped = if let Some(cache) = cache.as_mut() {
+                    let mut search_metrics = SearchMetrics::default();
+                    let result =
+                        cache.search(k, &cache_cut_config, &limits, &mut search_metrics)?;
+                    metrics.edges = cache.edge_count();
+                    metrics.inner_searches += 1;
+                    metrics.search.absorb(&search_metrics);
+                    result // already in arrival-id space
+                } else {
+                    let (graph, perm) = DiversityGraph::from_unsorted_scores(&scores, &edges);
+                    metrics.edges = graph.edge_count() as u64;
+                    let (result, search_metrics) =
+                        self.config.algorithm.search(&graph, k, &limits)?;
+                    metrics.inner_searches += 1;
+                    metrics.search.absorb(&search_metrics);
+                    result.map_nodes(&perm)
+                };
+                last_search_len = items.len();
+                last_max_feasible = mapped.max_feasible_size();
+                last_search_bound = unseen;
+                current = Some(mapped);
+
+                if exhausted {
+                    break;
+                }
+                // sufficient(): Eq. 2 with Lemma 1's bound.
+                let d = current.as_ref().expect("just stored");
+                if let Some(u) = unseen {
+                    if d.best().score() >= best_upper_bound(d, k, u) {
+                        metrics.early_stopped = true;
+                        break;
+                    }
+                }
+            } else if exhausted {
+                break;
+            }
+        }
+
+        // Assemble the output from the final table.
+        let current = match current {
+            Some(c) => c,
+            None => SearchResult::empty(k), // empty stream
+        };
+        let mut selected: Vec<Scored<S::Item>> = current
+            .best()
+            .nodes()
+            .iter()
+            .map(|&idx| items[idx as usize].take().expect("each node selected once"))
+            .collect();
+        selected.sort_by_key(|r| std::cmp::Reverse(r.score));
+        let total_score = selected.iter().map(|r| r.score).sum();
+        Ok(DivSearchOutput {
+            selected,
+            total_score,
+            metrics,
+        })
+    }
+}
+
+/// Lemma 1 (extended with the `i = 0` term): an upper bound on the score of
+/// the best diversified top-k over seen *and* unseen results.
+fn best_upper_bound(d: &SearchResult, k: usize, u: Score) -> Score {
+    let mut best = u.times(k); // i = 0: an entirely-unseen solution.
+    for (i, sol) in d.iter() {
+        best = best.max(sol.score() + u.times(k - i));
+    }
+    best
+}
+
+/// Lemma 3 condition 2: enough new results since the last search, and the
+/// k-th largest seen score has caught up with the unseen bound.
+fn necessary_holds(
+    seen: usize,
+    last_search_len: usize,
+    last_max_feasible: usize,
+    k: usize,
+    topk: &BinaryHeap<Reverse<Score>>,
+    unseen: Option<Score>,
+) -> bool {
+    let Some(u) = unseen else {
+        return false; // no bound yet → cannot possibly stop.
+    };
+    let kth_largest = if topk.len() >= k {
+        topk.peek().map(|&Reverse(s)| s).unwrap_or(Score::ZERO)
+    } else {
+        Score::ZERO
+    };
+    if kth_largest < u {
+        return false;
+    }
+    seen >= last_search_len + k.saturating_sub(last_max_feasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use crate::rng::Pcg;
+    use crate::sim::ThresholdSimilarity;
+    use crate::sources::{BoundingVecSource, IncrementalVecSource};
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    /// Items are (id, cluster); similar iff same cluster.
+    fn same_cluster(a: &(u32, u32), b: &(u32, u32)) -> bool {
+        a.1 == b.1
+    }
+
+    fn make_items(seed: u64, n: usize, clusters: u32) -> Vec<Scored<(u32, u32)>> {
+        let mut rng = Pcg::new(seed);
+        (0..n as u32)
+            .map(|i| Scored::new((i, rng.below(clusters)), Score::from(rng.range(1, 1000))))
+            .collect()
+    }
+
+    /// Offline reference: build the full graph over all items and solve.
+    fn offline_optimum(items: &[Scored<(u32, u32)>], k: usize) -> Score {
+        let (graph, _) = DiversityGraph::from_items(
+            items,
+            |r| r.score,
+            |a, b| same_cluster(&a.item, &b.item),
+        );
+        exhaustive(&graph, k).best().score()
+    }
+
+    #[test]
+    fn incremental_source_matches_offline_optimum() {
+        for seed in 0..15 {
+            let items = make_items(seed, 18, 5);
+            let want = offline_optimum(&items, 4);
+            let source = IncrementalVecSource::from_unsorted(items);
+            let engine = DivTopK::new(source, same_cluster, DivSearchConfig::new(4));
+            let out = engine.run().unwrap();
+            assert_eq!(out.total_score, want, "seed {seed}");
+            // Output really is pairwise dissimilar.
+            for i in 0..out.selected.len() {
+                for j in (i + 1)..out.selected.len() {
+                    assert!(!same_cluster(&out.selected[i].item, &out.selected[j].item));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_source_matches_offline_optimum() {
+        for seed in 20..35 {
+            let items = make_items(seed, 18, 4);
+            let want = offline_optimum(&items, 5);
+            let source = BoundingVecSource::new(items);
+            for algorithm in [ExactAlgorithm::AStar, ExactAlgorithm::Dp, ExactAlgorithm::Cut] {
+                let config = DivSearchConfig::new(5).with_algorithm(algorithm.clone());
+                let engine = DivTopK::new(source.clone(), same_cluster, config);
+                let out = engine.run().unwrap();
+                assert_eq!(out.total_score, want, "seed {seed} algo {algorithm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_triggers_on_clustered_prefix() {
+        // 3 dissimilar high scorers followed by a long tail of low scores:
+        // the engine must stop long before exhausting the stream.
+        let mut items = vec![
+            Scored::new((0, 0), s(100)),
+            Scored::new((1, 1), s(90)),
+            Scored::new((2, 2), s(80)),
+        ];
+        for i in 3..500u32 {
+            items.push(Scored::new((i, i % 3), s(10)));
+        }
+        let source = IncrementalVecSource::new(items);
+        let engine = DivTopK::new(source, same_cluster, DivSearchConfig::new(3));
+        let out = engine.run().unwrap();
+        assert_eq!(out.total_score, s(270));
+        assert!(out.metrics.early_stopped);
+        assert!(
+            out.metrics.results_generated < 50,
+            "pulled {} results, expected an early stop",
+            out.metrics.results_generated
+        );
+    }
+
+    #[test]
+    fn no_premature_stop_when_all_seen_are_similar() {
+        // The first k results are all mutually similar: D(S) has one
+        // element; dissimilar gold nuggets hide at lower scores. The stop
+        // conditions must keep pulling until they are found.
+        let mut items: Vec<Scored<(u32, u32)>> = (0..10u32)
+            .map(|i| Scored::new((i, 0), s(50)))
+            .collect();
+        items.push(Scored::new((10, 1), s(40)));
+        items.push(Scored::new((11, 2), s(30)));
+        let source = IncrementalVecSource::new(items);
+        let engine = DivTopK::new(source, same_cluster, DivSearchConfig::new(3));
+        let out = engine.run().unwrap();
+        assert_eq!(out.total_score, s(120)); // 50 + 40 + 30
+    }
+
+    #[test]
+    fn necessary_gate_reduces_inner_searches() {
+        let items = make_items(7, 60, 6);
+        let gated = DivTopK::new(
+            IncrementalVecSource::from_unsorted(items.clone()),
+            same_cluster,
+            DivSearchConfig::new(5),
+        )
+        .run()
+        .unwrap();
+        let mut ungated_config = DivSearchConfig::new(5);
+        ungated_config.use_necessary_gate = false;
+        let ungated = DivTopK::new(
+            IncrementalVecSource::from_unsorted(items),
+            same_cluster,
+            ungated_config,
+        )
+        .run()
+        .unwrap();
+        assert_eq!(gated.total_score, ungated.total_score);
+        assert!(
+            gated.metrics.inner_searches <= ungated.metrics.inner_searches,
+            "gate must not increase searches ({} vs {})",
+            gated.metrics.inner_searches,
+            ungated.metrics.inner_searches
+        );
+    }
+
+    #[test]
+    fn component_cache_is_exact_and_saves_work() {
+        for seed in 0..20 {
+            let items = make_items(900 + seed, 40, 6);
+            let want_out = DivTopK::new(
+                IncrementalVecSource::from_unsorted(items.clone()),
+                same_cluster,
+                DivSearchConfig::new(5),
+            )
+            .run()
+            .unwrap();
+            let cached_out = DivTopK::new(
+                IncrementalVecSource::from_unsorted(items),
+                same_cluster,
+                DivSearchConfig::new(5).with_component_cache(),
+            )
+            .run()
+            .unwrap();
+            assert_eq!(cached_out.total_score, want_out.total_score, "seed {seed}");
+            assert_eq!(
+                cached_out.metrics.results_generated,
+                want_out.metrics.results_generated,
+                "seed {seed}: stop point must be identical"
+            );
+            assert!(
+                cached_out.metrics.search.astar_calls <= want_out.metrics.search.astar_calls,
+                "seed {seed}: cache must not add solves ({} vs {})",
+                cached_out.metrics.search.astar_calls,
+                want_out.metrics.search.astar_calls
+            );
+        }
+    }
+
+    #[test]
+    fn component_cache_with_bounding_source() {
+        for seed in 40..50 {
+            let items = make_items(seed, 30, 4);
+            let want = offline_optimum(&items, 6);
+            let out = DivTopK::new(
+                BoundingVecSource::new(items),
+                same_cluster,
+                DivSearchConfig::new(6).with_component_cache(),
+            )
+            .run()
+            .unwrap();
+            assert_eq!(out.total_score, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bound_decay_is_sound_and_reduces_searches() {
+        for seed in 0..10 {
+            let items = make_items(400 + seed, 26, 5);
+            let want = offline_optimum(&items, 6);
+            let plain = DivTopK::new(
+                IncrementalVecSource::from_unsorted(items.clone()),
+                same_cluster,
+                DivSearchConfig::new(6),
+            )
+            .run()
+            .unwrap();
+            let throttled = DivTopK::new(
+                IncrementalVecSource::from_unsorted(items),
+                same_cluster,
+                DivSearchConfig::new(6).with_bound_decay(0.05),
+            )
+            .run()
+            .unwrap();
+            assert_eq!(plain.total_score, want, "seed {seed}");
+            assert_eq!(throttled.total_score, want, "seed {seed} (throttled)");
+            assert!(
+                throttled.metrics.inner_searches <= plain.metrics.inner_searches,
+                "seed {seed}: throttle increased searches"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_returns_empty() {
+        let source = IncrementalVecSource::new(Vec::<Scored<(u32, u32)>>::new());
+        let out = DivTopK::new(source, same_cluster, DivSearchConfig::new(3))
+            .run()
+            .unwrap();
+        assert!(out.selected.is_empty());
+        assert_eq!(out.total_score, Score::ZERO);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let items = make_items(1, 5, 2);
+        let source = IncrementalVecSource::from_unsorted(items);
+        let out = DivTopK::new(source, same_cluster, DivSearchConfig::new(0))
+            .run()
+            .unwrap();
+        assert!(out.selected.is_empty());
+    }
+
+    #[test]
+    fn threshold_similarity_integration() {
+        // Numeric items; sim = 1 - |a-b|/100, τ = 0.8 → similar iff |a-b| < 20.
+        let items = vec![
+            Scored::new(100.0f64, s(10)),
+            Scored::new(90.0, s(9)),
+            Scored::new(50.0, s(8)),
+            Scored::new(10.0, s(7)),
+        ];
+        let sim = ThresholdSimilarity::new(|a: &f64, b: &f64| 1.0 - (a - b).abs() / 100.0, 0.8);
+        let source = IncrementalVecSource::new(items);
+        let out = DivTopK::new(source, sim, DivSearchConfig::new(3))
+            .run()
+            .unwrap();
+        // 100 and 90 are similar; best is {100, 50, 10} = 25.
+        assert_eq!(out.total_score, s(25));
+    }
+
+    /// A bounding source whose reported bound *rises* mid-stream
+    /// (violating Lemma 2's assumption). The engine clamps the bound to be
+    /// non-increasing, so the answer must stay exact.
+    struct LyingSource {
+        items: Vec<Scored<(u32, u32)>>,
+        cursor: usize,
+    }
+
+    impl crate::sources::ResultSource for LyingSource {
+        type Item = (u32, u32);
+
+        fn next_result(&mut self) -> Option<Scored<(u32, u32)>> {
+            let item = self.items.get(self.cursor).cloned();
+            self.cursor += 1;
+            item
+        }
+
+        fn unseen_bound(&self) -> crate::sources::UnseenBound {
+            // True bound over the remainder…
+            let truth = self.items[self.cursor.min(self.items.len() - 1)..]
+                .iter()
+                .map(|r| r.score)
+                .max()
+                .unwrap_or(Score::ZERO);
+            // …but report a bouncing, sometimes-higher value.
+            let noise = if self.cursor % 3 == 0 { 500 } else { 0 };
+            crate::sources::UnseenBound::At(truth + Score::from(noise))
+        }
+    }
+
+    #[test]
+    fn non_monotone_bounds_are_clamped_soundly() {
+        for seed in 0..10 {
+            let items = make_items(700 + seed, 20, 4);
+            let want = offline_optimum(&items, 5);
+            let mut sorted = items.clone();
+            sorted.sort_by_key(|r| std::cmp::Reverse(r.score));
+            let source = LyingSource {
+                items: sorted,
+                cursor: 0,
+            };
+            let out = DivTopK::new(source, same_cluster, DivSearchConfig::new(5))
+                .run()
+                .unwrap();
+            assert_eq!(out.total_score, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budget_errors_propagate() {
+        let items = make_items(3, 40, 2);
+        let config = DivSearchConfig::new(10).with_limits(SearchLimits {
+            max_expansions: Some(1),
+            ..SearchLimits::default()
+        });
+        let source = IncrementalVecSource::from_unsorted(items);
+        let result = DivTopK::new(source, same_cluster, config).run();
+        assert!(matches!(result, Err(SearchError::ResourceExhausted(_))));
+    }
+}

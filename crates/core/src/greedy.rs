@@ -1,0 +1,102 @@
+//! The greedy baseline (§4, "Greedy is Not Good").
+//!
+//! Repeatedly takes the highest-scored remaining node, then deletes it and
+//! its neighbors, until `k` nodes are chosen or the graph is exhausted.
+//! Fast (`O(V + E)` given score-sorted ids) but its approximation ratio is
+//! unbounded: on the paper's Fig. 2 family greedy scores 199 while the
+//! optimum is 9,900. Provided as the comparison baseline for the quality
+//! experiments and as a cheap seed/incumbent.
+
+use crate::graph::{DiversityGraph, NodeId};
+use crate::score::Score;
+use crate::solution::SearchResult;
+
+/// Runs the greedy heuristic, returning the chosen nodes (sorted) and score.
+pub fn greedy(g: &DiversityGraph, k: usize) -> (Vec<NodeId>, Score) {
+    let mut blocked = vec![false; g.len()];
+    let mut chosen = Vec::with_capacity(k.min(g.len()));
+    let mut total = Score::ZERO;
+    // Node ids are already sorted by non-increasing score.
+    for v in g.nodes() {
+        if chosen.len() == k {
+            break;
+        }
+        if blocked[v as usize] {
+            continue;
+        }
+        chosen.push(v);
+        total += g.score(v);
+        for &nb in g.neighbors(v) {
+            blocked[nb as usize] = true;
+        }
+    }
+    (chosen, total)
+}
+
+/// Greedy packaged as a [`SearchResult`]: each prefix of the greedy pick
+/// fills one size entry, so the table is feasible but — unlike the exact
+/// algorithms — carries **no** prefix-max optimality guarantee.
+pub fn greedy_result(g: &DiversityGraph, k: usize) -> SearchResult {
+    let (chosen, _) = greedy(g, k);
+    let mut out = SearchResult::empty(k);
+    let mut prefix = Vec::new();
+    let mut score = Score::ZERO;
+    for v in chosen {
+        prefix.push(v);
+        score += g.score(v);
+        out.offer(prefix.clone(), score);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiversityGraph::from_sorted_scores(vec![], &[]);
+        let (nodes, score) = greedy(&g, 3);
+        assert!(nodes.is_empty());
+        assert_eq!(score, Score::ZERO);
+    }
+
+    #[test]
+    fn respects_k() {
+        let g = DiversityGraph::from_sorted_scores(vec![s(5), s(4), s(3)], &[]);
+        let (nodes, score) = greedy(&g, 2);
+        assert_eq!(nodes, vec![0, 1]);
+        assert_eq!(score, s(9));
+    }
+
+    #[test]
+    fn fig1_greedy_is_suboptimal_at_k3() {
+        // Greedy on Fig. 1 picks v1 (10), blocking v3, v4, v5; then v2 (8),
+        // then v6 (1): total 19 < optimal 20.
+        let g = DiversityGraph::paper_fig1();
+        let (nodes, score) = greedy(&g, 3);
+        assert_eq!(nodes, vec![0, 1, 5]);
+        assert_eq!(score, s(19));
+    }
+
+    #[test]
+    fn greedy_result_prefixes() {
+        let g = DiversityGraph::paper_fig1();
+        let r = greedy_result(&g, 3);
+        assert_eq!(r.score(1), Some(s(10)));
+        assert_eq!(r.score(2), Some(s(18)));
+        assert_eq!(r.score(3), Some(s(19)));
+        r.assert_well_formed(Some(&g));
+    }
+
+    #[test]
+    fn greedy_picks_are_independent() {
+        let g = DiversityGraph::paper_fig1();
+        let (nodes, _) = greedy(&g, 6);
+        assert!(g.is_independent_set(&nodes));
+    }
+}

@@ -1,0 +1,217 @@
+//! Resource budgets for the exact searches.
+//!
+//! `div-astar` explores a worst-case exponential space (the problem is
+//! NP-hard, Lemma 4). The paper's experiments report `INF` whenever a run
+//! exhausted the 2 GB testbed; a reusable library must instead fail cleanly.
+//! [`SearchLimits`] carries optional budgets that every search checks; when a
+//! budget trips the search returns
+//! [`SearchError::ResourceExhausted`](crate::error::SearchError).
+
+use crate::error::{ExhaustedResource, SearchError};
+use std::time::{Duration, Instant};
+
+/// Optional budgets applied to a single `div-search-current` invocation.
+///
+/// The default has no limits (exact search runs to completion). All three
+/// exact algorithms honor the limits; `div-dp`/`div-cut` pass them through to
+/// every inner `div-astar` call and the budgets are shared across the whole
+/// invocation (e.g. `max_expansions` counts expansions summed over all
+/// components).
+#[derive(Debug, Clone, Default)]
+pub struct SearchLimits {
+    /// Maximum number of entries simultaneously held in an A* heap.
+    pub max_heap_entries: Option<usize>,
+    /// Maximum number of heap pops (partial-solution expansions) in total.
+    pub max_expansions: Option<u64>,
+    /// Wall-clock budget for the whole invocation.
+    pub time_budget: Option<Duration>,
+    /// Approximate working-set byte budget (heap entries' solutions +
+    /// result tables). Mirrors the paper's 2 GB `INF` cutoff.
+    pub max_bytes: Option<usize>,
+}
+
+impl SearchLimits {
+    /// No budgets: run to completion.
+    pub fn unlimited() -> SearchLimits {
+        SearchLimits::default()
+    }
+
+    /// A byte budget analogous to the paper's 2 GB testbed limit.
+    pub fn with_max_bytes(bytes: usize) -> SearchLimits {
+        SearchLimits {
+            max_bytes: Some(bytes),
+            ..SearchLimits::default()
+        }
+    }
+
+    /// A wall-clock budget.
+    pub fn with_time_budget(budget: Duration) -> SearchLimits {
+        SearchLimits {
+            time_budget: Some(budget),
+            ..SearchLimits::default()
+        }
+    }
+
+    /// Starts a ledger that tracks consumption against these budgets.
+    pub fn start(&self) -> BudgetLedger {
+        BudgetLedger {
+            limits: self.clone(),
+            started: Instant::now(),
+            expansions: 0,
+            bytes: 0,
+            ticks: 0,
+        }
+    }
+}
+
+/// Running consumption against a [`SearchLimits`].
+///
+/// One ledger is shared per `div-search-current` invocation (threaded through
+/// component/cptree recursion) so budgets are global, not per-subgraph.
+#[derive(Debug)]
+pub struct BudgetLedger {
+    limits: SearchLimits,
+    started: Instant,
+    expansions: u64,
+    bytes: usize,
+    ticks: u32,
+}
+
+/// How often (in expansions) the deadline is polled; `Instant::now` is not
+/// free, so we only check every few hundred expansions.
+const DEADLINE_POLL_MASK: u32 = 0xFF;
+
+impl BudgetLedger {
+    /// Records one heap pop; errors if the expansion or deadline budget trips.
+    #[inline]
+    pub fn record_expansion(&mut self) -> Result<(), SearchError> {
+        self.expansions += 1;
+        if let Some(max) = self.limits.max_expansions {
+            if self.expansions > max {
+                return Err(SearchError::ResourceExhausted(
+                    ExhaustedResource::Expansions,
+                ));
+            }
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & DEADLINE_POLL_MASK == 0 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Checks the heap-entry budget against the current heap size.
+    #[inline]
+    pub fn check_heap(&self, heap_len: usize) -> Result<(), SearchError> {
+        if let Some(max) = self.limits.max_heap_entries {
+            if heap_len > max {
+                return Err(SearchError::ResourceExhausted(
+                    ExhaustedResource::HeapEntries,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds `delta` estimated live bytes; errors if the byte budget trips.
+    #[inline]
+    pub fn add_bytes(&mut self, delta: usize) -> Result<(), SearchError> {
+        self.bytes = self.bytes.saturating_add(delta);
+        if let Some(max) = self.limits.max_bytes {
+            if self.bytes > max {
+                return Err(SearchError::ResourceExhausted(ExhaustedResource::Bytes));
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases `delta` estimated live bytes.
+    #[inline]
+    pub fn release_bytes(&mut self, delta: usize) {
+        self.bytes = self.bytes.saturating_sub(delta);
+    }
+
+    /// Unconditionally polls the wall clock against the deadline.
+    pub fn check_deadline(&self) -> Result<(), SearchError> {
+        if let Some(budget) = self.limits.time_budget {
+            if self.started.elapsed() > budget {
+                return Err(SearchError::ResourceExhausted(ExhaustedResource::Deadline));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total expansions recorded so far.
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    /// Estimated live bytes currently accounted.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut ledger = SearchLimits::unlimited().start();
+        for _ in 0..100_000 {
+            ledger.record_expansion().unwrap();
+        }
+        ledger.check_heap(usize::MAX - 1).unwrap();
+        ledger.add_bytes(1 << 40).unwrap();
+    }
+
+    #[test]
+    fn expansion_budget_trips() {
+        let limits = SearchLimits {
+            max_expansions: Some(10),
+            ..SearchLimits::default()
+        };
+        let mut ledger = limits.start();
+        for _ in 0..10 {
+            ledger.record_expansion().unwrap();
+        }
+        assert_eq!(
+            ledger.record_expansion(),
+            Err(SearchError::ResourceExhausted(
+                ExhaustedResource::Expansions
+            ))
+        );
+    }
+
+    #[test]
+    fn heap_budget_trips() {
+        let limits = SearchLimits {
+            max_heap_entries: Some(4),
+            ..SearchLimits::default()
+        };
+        let ledger = limits.start();
+        ledger.check_heap(4).unwrap();
+        assert!(ledger.check_heap(5).is_err());
+    }
+
+    #[test]
+    fn byte_budget_trips_and_releases() {
+        let mut ledger = SearchLimits::with_max_bytes(100).start();
+        ledger.add_bytes(80).unwrap();
+        ledger.release_bytes(50);
+        ledger.add_bytes(60).unwrap();
+        assert!(ledger.add_bytes(20).is_err());
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let limits = SearchLimits::with_time_budget(Duration::from_millis(0));
+        let ledger = limits.start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(
+            ledger.check_deadline(),
+            Err(SearchError::ResourceExhausted(ExhaustedResource::Deadline))
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Lightweight counters describing what a search did.
+//!
+//! Used by the benchmark harness (ablations AB3/AB4 in DESIGN.md) and by the
+//! framework to expose how much work the early-stop conditions saved.
+
+/// Counters for a single `div-search-current` invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchMetrics {
+    /// Heap pops across all A* rounds (all components / cptree nodes).
+    pub expansions: u64,
+    /// Entries pushed into A* heaps.
+    pub pushes: u64,
+    /// Largest heap size observed.
+    pub peak_heap: usize,
+    /// Number of `div-astar` invocations (1 for plain astar; one per
+    /// component for `div-dp`; one per searched subgraph for `div-cut`).
+    pub astar_calls: u64,
+    /// Nodes removed by Lemma 7 compression (div-cut only).
+    pub compressed_nodes: u64,
+    /// cptree nodes searched (div-cut only).
+    pub cptree_nodes: u64,
+    /// `⊕` operator applications.
+    pub plus_ops: u64,
+    /// `⊗` operator applications.
+    pub otimes_ops: u64,
+}
+
+impl SearchMetrics {
+    /// Merges counters from a sub-search into this one.
+    pub fn absorb(&mut self, other: &SearchMetrics) {
+        self.expansions += other.expansions;
+        self.pushes += other.pushes;
+        self.peak_heap = self.peak_heap.max(other.peak_heap);
+        self.astar_calls += other.astar_calls;
+        self.compressed_nodes += other.compressed_nodes;
+        self.cptree_nodes += other.cptree_nodes;
+        self.plus_ops += other.plus_ops;
+        self.otimes_ops += other.otimes_ops;
+    }
+}
+
+/// Counters for a whole framework run ([`crate::framework`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameworkMetrics {
+    /// Results pulled from the underlying top-k source.
+    pub results_generated: u64,
+    /// Similarity evaluations performed while growing the diversity graph.
+    pub similarity_checks: u64,
+    /// Edges present in the final diversity graph.
+    pub edges: u64,
+    /// Times `necessary()` was evaluated.
+    pub necessary_checks: u64,
+    /// Times `div-search-current()` actually ran (gated by `necessary()`).
+    pub inner_searches: u64,
+    /// Accumulated metrics of all inner searches.
+    pub search: SearchMetrics,
+    /// True when the run ended because `sufficient()` held (early stop),
+    /// false when the source was exhausted first.
+    pub early_stopped: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_and_maxes() {
+        let mut a = SearchMetrics {
+            expansions: 5,
+            pushes: 10,
+            peak_heap: 7,
+            astar_calls: 1,
+            ..Default::default()
+        };
+        let b = SearchMetrics {
+            expansions: 2,
+            pushes: 3,
+            peak_heap: 11,
+            astar_calls: 2,
+            plus_ops: 4,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.expansions, 7);
+        assert_eq!(a.pushes, 13);
+        assert_eq!(a.peak_heap, 11);
+        assert_eq!(a.astar_calls, 3);
+        assert_eq!(a.plus_ops, 4);
+    }
+}

@@ -1,0 +1,280 @@
+//! Persistent node sets: O(1) clone, union, extend and remap.
+//!
+//! The `⊕` operator folds per-size tables across (potentially thousands
+//! of) components; materializing every intermediate solution as a flat
+//! `Vec<NodeId>` costs `O(k²)` bytes *per fold step* and was measured to
+//! dominate both time and memory at the paper's large-`k` settings
+//! (k = 2000). Witness solutions are only ever *read* at the very end of a
+//! search, so intermediates are represented structurally — a DAG of joins,
+//! extensions and lazy id-remaps over shared subtrees — and flattened once
+//! on demand. This is what keeps `div-cut`'s memory near-flat while
+//! `div-dp`'s per-size tables still blow up the A\* heap (matching the
+//! paper's Fig. 13(d)).
+
+use crate::graph::NodeId;
+use std::rc::Rc;
+
+/// An immutable set of node ids with O(1) structural composition.
+#[derive(Debug, Clone)]
+pub struct NodeSet {
+    repr: Rc<Repr>,
+    len: u32,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Empty,
+    /// A materialized set.
+    Flat(Vec<NodeId>),
+    /// Disjoint union of two sets.
+    Join(NodeSet, NodeSet),
+    /// One additional node.
+    Extend(NodeSet, NodeId),
+    /// Every leaf id `x` below reads as `map[x]`.
+    Mapped(NodeSet, Rc<Vec<NodeId>>),
+}
+
+/// A persistent chain of pending id-remaps during traversal.
+struct MapChain {
+    map: Rc<Vec<NodeId>>,
+    next: Option<Rc<MapChain>>,
+}
+
+fn apply_maps(mut chain: Option<&Rc<MapChain>>, mut x: NodeId) -> NodeId {
+    while let Some(link) = chain {
+        x = link.map[x as usize];
+        chain = link.next.as_ref();
+    }
+    x
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub fn empty() -> NodeSet {
+        NodeSet {
+            repr: Rc::new(Repr::Empty),
+            len: 0,
+        }
+    }
+
+    /// A materialized set (ids need not be sorted; must be distinct).
+    pub fn from_vec(nodes: Vec<NodeId>) -> NodeSet {
+        let len = nodes.len() as u32;
+        if len == 0 {
+            return NodeSet::empty();
+        }
+        NodeSet {
+            repr: Rc::new(Repr::Flat(nodes)),
+            len,
+        }
+    }
+
+    /// Disjoint union — O(1). The caller guarantees disjointness
+    /// (components / subtree territories never share nodes).
+    pub fn join(a: &NodeSet, b: &NodeSet) -> NodeSet {
+        if a.len == 0 {
+            return b.clone();
+        }
+        if b.len == 0 {
+            return a.clone();
+        }
+        NodeSet {
+            len: a.len + b.len,
+            repr: Rc::new(Repr::Join(a.clone(), b.clone())),
+        }
+    }
+
+    /// Adds one node — O(1). The caller guarantees `v` is absent.
+    pub fn extend(a: &NodeSet, v: NodeId) -> NodeSet {
+        NodeSet {
+            len: a.len + 1,
+            repr: Rc::new(Repr::Extend(a.clone(), v)),
+        }
+    }
+
+    /// Lazily remaps every member `x` to `map[x]` — O(1).
+    pub fn mapped(a: &NodeSet, map: Rc<Vec<NodeId>>) -> NodeSet {
+        if a.len == 0 {
+            return NodeSet::empty();
+        }
+        NodeSet {
+            len: a.len,
+            repr: Rc::new(Repr::Mapped(a.clone(), map)),
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True for the empty set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Materializes the members, sorted ascending. Iterative traversal —
+    /// join chains can be thousands deep.
+    pub fn to_sorted_vec(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack: Vec<(&NodeSet, Option<Rc<MapChain>>)> = vec![(self, None)];
+        while let Some((set, chain)) = stack.pop() {
+            match &*set.repr {
+                Repr::Empty => {}
+                Repr::Flat(v) => {
+                    out.extend(v.iter().map(|&x| apply_maps(chain.as_ref(), x)));
+                }
+                Repr::Extend(a, v) => {
+                    out.push(apply_maps(chain.as_ref(), *v));
+                    stack.push((a, chain));
+                }
+                Repr::Join(a, b) => {
+                    stack.push((a, chain.clone()));
+                    stack.push((b, chain));
+                }
+                Repr::Mapped(a, map) => {
+                    stack.push((
+                        a,
+                        Some(Rc::new(MapChain {
+                            map: map.clone(),
+                            next: chain,
+                        })),
+                    ));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl PartialEq for NodeSet {
+    /// Semantic equality: same members.
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.to_sorted_vec() == other.to_sorted_vec()
+    }
+}
+impl Eq for NodeSet {}
+
+thread_local! {
+    /// Shared empty representation used to neuter nodes during teardown.
+    static EMPTY_REPR: Rc<Repr> = Rc::new(Repr::Empty);
+}
+
+fn empty_repr() -> Rc<Repr> {
+    EMPTY_REPR.with(Rc::clone)
+}
+
+impl Drop for NodeSet {
+    /// Iterative teardown: join chains can be tens of thousands of links
+    /// deep, and the default recursive `Rc` drop would overflow the stack.
+    fn drop(&mut self) {
+        if Rc::strong_count(&self.repr) != 1 {
+            return; // shared: the field drop just decrements the count.
+        }
+        if matches!(&*self.repr, Repr::Empty | Repr::Flat(_)) {
+            return; // shallow already.
+        }
+        let mut stack: Vec<Rc<Repr>> = vec![std::mem::replace(&mut self.repr, empty_repr())];
+        while let Some(rc) = stack.pop() {
+            if let Ok(mut repr) = Rc::try_unwrap(rc) {
+                match &mut repr {
+                    Repr::Join(a, b) => {
+                        stack.push(std::mem::replace(&mut a.repr, empty_repr()));
+                        stack.push(std::mem::replace(&mut b.repr, empty_repr()));
+                    }
+                    Repr::Extend(a, _) | Repr::Mapped(a, _) => {
+                        stack.push(std::mem::replace(&mut a.repr, empty_repr()));
+                    }
+                    Repr::Empty | Repr::Flat(_) => {}
+                }
+                // `repr` now drops shallowly: children were detached above.
+            }
+        }
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> NodeSet {
+        NodeSet::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_flat() {
+        assert!(NodeSet::empty().is_empty());
+        let s = NodeSet::from_vec(vec![3, 1, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_sorted_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_and_extend() {
+        let a = NodeSet::from_vec(vec![5, 1]);
+        let b = NodeSet::from_vec(vec![9]);
+        let j = NodeSet::join(&a, &b);
+        assert_eq!(j.to_sorted_vec(), vec![1, 5, 9]);
+        let e = NodeSet::extend(&j, 7);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.to_sorted_vec(), vec![1, 5, 7, 9]);
+        // Originals are untouched (persistence).
+        assert_eq!(a.to_sorted_vec(), vec![1, 5]);
+    }
+
+    #[test]
+    fn join_with_empty_is_identity_sharing() {
+        let a = NodeSet::from_vec(vec![2, 4]);
+        let j = NodeSet::join(&a, &NodeSet::empty());
+        assert_eq!(j.to_sorted_vec(), a.to_sorted_vec());
+    }
+
+    #[test]
+    fn mapped_applies_lazily_and_composes() {
+        let a = NodeSet::from_vec(vec![0, 2]);
+        let m1 = Rc::new(vec![10, 11, 12]); // 0→10, 2→12
+        let s1 = NodeSet::mapped(&a, m1);
+        assert_eq!(s1.to_sorted_vec(), vec![10, 12]);
+        // Second remap over the first.
+        let mut m2 = vec![0u32; 20];
+        m2[10] = 100;
+        m2[12] = 120;
+        let s2 = NodeSet::mapped(&s1, Rc::new(m2));
+        assert_eq!(s2.to_sorted_vec(), vec![100, 120]);
+    }
+
+    #[test]
+    fn map_only_affects_wrapped_subtree() {
+        let inner = NodeSet::from_vec(vec![0, 1]);
+        let mapped = NodeSet::mapped(&inner, Rc::new(vec![7, 8]));
+        let outer = NodeSet::join(&mapped, &NodeSet::from_vec(vec![0]));
+        // The bare leaf 0 from the right side is NOT remapped.
+        assert_eq!(outer.to_sorted_vec(), vec![0, 7, 8]);
+    }
+
+    #[test]
+    fn deep_join_chain_does_not_overflow() {
+        let mut acc = NodeSet::empty();
+        for i in 0..50_000u32 {
+            acc = NodeSet::join(&acc, &NodeSet::from_vec(vec![i]));
+        }
+        assert_eq!(acc.len(), 50_000);
+        let v = acc.to_sorted_vec();
+        assert_eq!(v.len(), 50_000);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[49_999], 49_999);
+    }
+
+    #[test]
+    fn semantic_equality() {
+        let a = NodeSet::from_vec(vec![1, 2, 3]);
+        let b = NodeSet::join(&NodeSet::from_vec(vec![3, 1]), &NodeSet::from_vec(vec![2]));
+        assert_eq!(a, b);
+        assert_ne!(a, NodeSet::from_vec(vec![1, 2]));
+    }
+}

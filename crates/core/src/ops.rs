@@ -1,0 +1,237 @@
+//! The `⊕` and `⊗` operators (Algorithms 5 and 6).
+//!
+//! * `⊕` ([`combine_disjoint`]) merges results computed on **disjoint** node
+//!   sets: `D.solution_i` = the best way to pick `j` nodes from `D'` and
+//!   `i − j` from `D''`. Dynamic programming, `O(k²)` (and `O(k²·k)` node
+//!   copying in the worst case, bounded by solution sizes).
+//! * `⊗` ([`combine_alternative`]) merges results computed on the **same**
+//!   node set under different assumptions (cut point included/excluded):
+//!   pointwise best per size, `O(k)`.
+//!
+//! Both are commutative and associative (asserted by property tests), so
+//! component/cptree results can be folded in any order (Algorithm 7 line 5,
+//! Algorithm 8 lines 10–11).
+
+use crate::score::Score;
+use crate::solution::SearchResult;
+
+/// `D' ⊕ D''` — Algorithm 5.
+///
+/// Operands must target the same `k` and stem from disjoint node sets
+/// (callers combine per-component or per-subgraph results that have been
+/// mapped back into a common id space).
+///
+/// Complexity: `O(|present(a)| · |present(b)|)` score comparisons; witness
+/// unions are O(1) persistent joins. For the common fold of a large
+/// accumulator against a small (often single-node) component table this is
+/// `O(k)`, not `O(k²)`.
+pub fn combine_disjoint(a: &SearchResult, b: &SearchResult) -> SearchResult {
+    assert_eq!(a.k(), b.k(), "operands must target the same k");
+    let k = a.k();
+    let mut out = SearchResult::empty(k);
+    let pa = a.present_sizes();
+    let pb = b.present_sizes();
+    for &ja in &pa {
+        let sa = a.solution(ja).expect("present");
+        for &jb in &pb {
+            let i = ja + jb;
+            if i > k {
+                break; // pb ascending: larger jb only overshoots further.
+            }
+            if i == 0 {
+                continue;
+            }
+            let sb = b.solution(jb).expect("present");
+            let score = sa.score() + sb.score();
+            if score > out.score_or_zero(i) || out.solution(i).is_none() {
+                out.offer_set(crate::nodeset::NodeSet::join(sa.set(), sb.set()), score);
+            }
+        }
+    }
+    out
+}
+
+/// `acc ← acc ⊕ b`, in place — the fold-optimized form of Algorithm 5.
+///
+/// Equivalent to `acc = combine_disjoint(&acc, &b)` (property-tested), but
+/// allocates nothing when entries don't improve: the classic 0/1-knapsack
+/// descending-index update. Folding thousands of small component tables
+/// into one accumulator is `O(components · k · |present(b)|)` with O(1)
+/// persistent-set joins — this is what keeps `div-dp`/`div-cut` viable at
+/// the paper's `k = 2000` settings.
+pub fn combine_disjoint_in_place(acc: &mut SearchResult, b: &SearchResult) {
+    assert_eq!(acc.k(), b.k(), "operands must target the same k");
+    let k = acc.k();
+    let pb: Vec<usize> = b.present_sizes().into_iter().filter(|&j| j > 0).collect();
+    if pb.is_empty() {
+        return;
+    }
+    // Descending target size: reads at `i - j` see pre-update values, so
+    // exactly one entry of `b` is applied per target (Algorithm 5's j-split).
+    for i in (1..=k).rev() {
+        let mut best: Option<(Score, crate::nodeset::NodeSet)> = None;
+        for &j in &pb {
+            if j > i {
+                break; // pb ascending
+            }
+            let Some(sa) = acc.solution(i - j) else { continue };
+            let sb = b.solution(j).expect("present");
+            let score = sa.score() + sb.score();
+            let improves_acc = score > acc.score_or_zero(i) || acc.solution(i).is_none();
+            let improves_best = match &best {
+                Some((s, _)) => score > *s,
+                None => true,
+            };
+            if improves_acc && improves_best {
+                best = Some((score, crate::nodeset::NodeSet::join(sa.set(), sb.set())));
+            }
+        }
+        if let Some((score, set)) = best {
+            acc.offer_set(set, score);
+        }
+    }
+}
+
+/// `D' ⊗ D''` — Algorithm 6: pointwise best entry per size. `O(k)`.
+pub fn combine_alternative(a: &SearchResult, b: &SearchResult) -> SearchResult {
+    assert_eq!(a.k(), b.k(), "operands must target the same k");
+    let k = a.k();
+    let mut out = SearchResult::empty(k);
+    for i in 1..=k {
+        let pick = match (a.solution(i), b.solution(i)) {
+            (Some(sa), Some(sb)) => Some(if sa.score() >= sb.score() { sa } else { sb }),
+            (Some(sa), None) => Some(sa),
+            (None, Some(sb)) => Some(sb),
+            (None, None) => None,
+        };
+        if let Some(sol) = pick {
+            out.offer_set(sol.set().clone(), sol.score());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::Score;
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    /// Builds a result table from (nodes, score) pairs.
+    fn table(k: usize, entries: &[(&[u32], u32)]) -> SearchResult {
+        let mut r = SearchResult::empty(k);
+        for (nodes, score) in entries {
+            r.offer(nodes.to_vec(), s(*score));
+        }
+        r
+    }
+
+    #[test]
+    fn plus_merges_disjoint_sizes() {
+        // Mirrors Example 3 / Fig. 7 in spirit: G1 entries sizes 1..2,
+        // G2 entries sizes 1..3.
+        let d1 = table(5, &[(&[0], 10), (&[0, 1], 18), (&[2, 3, 4], 20)]);
+        let d2 = table(5, &[(&[10], 10), (&[10, 11], 18), (&[11, 12, 13], 22)]);
+        let d = combine_disjoint(&d1, &d2);
+        assert_eq!(d.score(1), Some(s(10)));
+        assert_eq!(d.score(2), Some(s(20))); // 10 + 10
+        assert_eq!(d.score(3), Some(s(28))); // 10 + 18 or 18 + 10
+        assert_eq!(d.score(4), Some(s(36))); // 18 + 18
+        assert_eq!(d.score(5), Some(s(40))); // 18 + 22
+        assert_eq!(d.solution(5).unwrap().nodes(), &[0, 1, 11, 12, 13]);
+        d.assert_well_formed(None);
+    }
+
+    #[test]
+    fn plus_respects_missing_entries() {
+        // d2 has no size-1 entry: size-3 combinations must not use it.
+        let d1 = table(3, &[(&[0], 5), (&[0, 1], 8)]);
+        let d2 = table(3, &[(&[7, 8], 9)]);
+        let d = combine_disjoint(&d1, &d2);
+        assert_eq!(d.score(1), Some(s(5)));
+        assert_eq!(d.score(2), Some(s(9))); // {7,8} beats {0,1}=8
+        assert_eq!(d.score(3), Some(s(14))); // {0} + {7,8}
+        assert_eq!(d.solution(3).unwrap().nodes(), &[0, 7, 8]);
+    }
+
+    #[test]
+    fn plus_with_empty_is_identity() {
+        let d1 = table(4, &[(&[0], 5), (&[0, 1], 8)]);
+        let id = SearchResult::empty(4);
+        assert_eq!(combine_disjoint(&d1, &id), d1);
+        assert_eq!(combine_disjoint(&id, &d1), d1);
+    }
+
+    #[test]
+    fn otimes_pointwise_best() {
+        let d1 = table(3, &[(&[0], 5), (&[0, 1], 8)]);
+        let d2 = table(3, &[(&[2], 7), (&[2, 3, 4], 12)]);
+        let d = combine_alternative(&d1, &d2);
+        assert_eq!(d.solution(1).unwrap().nodes(), &[2]);
+        assert_eq!(d.solution(2).unwrap().nodes(), &[0, 1]);
+        assert_eq!(d.solution(3).unwrap().nodes(), &[2, 3, 4]);
+        d.assert_well_formed(None);
+    }
+
+    #[test]
+    fn otimes_with_empty_is_identity() {
+        let d1 = table(3, &[(&[0], 5)]);
+        let id = SearchResult::empty(3);
+        assert_eq!(combine_alternative(&d1, &id), d1);
+        assert_eq!(combine_alternative(&id, &d1), d1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same k")]
+    fn mismatched_k_panics() {
+        let _ = combine_disjoint(&SearchResult::empty(2), &SearchResult::empty(3));
+    }
+
+    #[test]
+    fn in_place_matches_functional() {
+        use crate::rng::Pcg;
+        // Random tables over disjoint id ranges; in-place fold must equal
+        // the functional fold entry-for-entry.
+        for seed in 0..200 {
+            let mut rng = Pcg::new(seed);
+            let k = 1 + rng.below(8) as usize;
+            let make = |rng: &mut Pcg, base: u32, k: usize| {
+                let mut t = SearchResult::empty(k);
+                let mut nodes = Vec::new();
+                let mut score = Score::ZERO;
+                for i in 0..k {
+                    nodes.push(base + i as u32);
+                    score += Score::from(rng.range(1, 100));
+                    if rng.chance(0.6) {
+                        t.offer(nodes.clone(), score);
+                    }
+                }
+                t
+            };
+            let a = make(&mut rng, 0, k);
+            let b = make(&mut rng, 1000, k);
+            let functional = combine_disjoint(&a, &b);
+            let mut in_place = a.clone();
+            combine_disjoint_in_place(&mut in_place, &b);
+            for i in 0..=k {
+                assert_eq!(
+                    in_place.score(i),
+                    functional.score(i),
+                    "seed {seed} size {i}"
+                );
+            }
+            in_place.assert_well_formed(None);
+        }
+    }
+
+    #[test]
+    fn in_place_with_empty_is_noop() {
+        let a = table(4, &[(&[0], 5), (&[0, 1], 8)]);
+        let mut acc = a.clone();
+        combine_disjoint_in_place(&mut acc, &SearchResult::empty(4));
+        assert_eq!(acc, a);
+    }
+}

@@ -1,0 +1,182 @@
+//! A tiny, deterministic PCG-XSH-RR 64/32 random generator.
+//!
+//! The test-graph generators ([`crate::testgen`]) and the synthetic corpora
+//! in `divtopk-text` must produce *bit-identical* inputs forever so that
+//! EXPERIMENTS.md numbers stay comparable; depending on an external RNG
+//! crate would tie reproducibility to its stream stability. PCG is ~30
+//! lines, well studied, and plenty for workload generation (not for
+//! cryptography).
+
+/// PCG-XSH-RR 64/32 — O'Neill (2014).
+#[derive(Debug, Clone)]
+pub struct Pcg {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg {
+    /// Creates a generator from a seed; distinct seeds give distinct streams.
+    pub fn new(seed: u64) -> Pcg {
+        let mut rng = Pcg {
+            state: 0,
+            inc: (seed << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(0x9E3779B97F4A7C15 ^ seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform integer in `[0, bound)`. Debiased by rejection.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "below(0)");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)` (half-open).
+    pub fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u32 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u32) as usize])
+        }
+    }
+
+    /// Samples an index from cumulative weights (`cdf` ascending, last =
+    /// total weight). Used by the Zipf/topic samplers in `divtopk-text`.
+    pub fn sample_cdf(&mut self, cdf: &[f64]) -> usize {
+        let total = *cdf.last().expect("non-empty cdf");
+        let x = self.unit_f64() * total;
+        match cdf.binary_search_by(|w| w.partial_cmp(&x).expect("finite weights")) {
+            Ok(i) => (i + 1).min(cdf.len() - 1),
+            Err(i) => i.min(cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u32> = {
+            let mut r = Pcg::new(42);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = Pcg::new(42);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u32> = {
+            let mut r = Pcg::new(43);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Pcg::new(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = Pcg::new(9);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_rough_frequency() {
+        let mut r = Pcg::new(5);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Pcg::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "seed 3 should permute");
+    }
+
+    #[test]
+    fn sample_cdf_respects_weights() {
+        let mut r = Pcg::new(8);
+        let cdf = [1.0, 1.0, 11.0]; // weights 1, 0, 10
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[r.sample_cdf(&cdf)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "{counts:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Scores: finite, non-negative `f64` values with a total order.
+//!
+//! The paper assumes every result carries a relevance score `score(v)`; all
+//! algorithms maximize sums of scores. We wrap `f64` in a newtype that
+//! enforces *finite and non-negative* at construction, which in turn makes
+//! `Ord` safe (no NaN) and keeps the upper-bound arithmetic of Lemma 1 valid
+//! (`(k - i) * u` is only an upper bound when `u >= 0`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A finite, non-negative score.
+///
+/// Construction via [`Score::new`] panics on NaN/infinite/negative input;
+/// use [`Score::try_new`] for fallible construction. `Score` is `Copy` and
+/// totally ordered, so it can live in heaps and be compared freely.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct Score(f64);
+
+impl Score {
+    /// The zero score (score of the empty solution).
+    pub const ZERO: Score = Score(0.0);
+
+    /// Creates a score, panicking if `v` is not finite or is negative.
+    #[inline]
+    pub fn new(v: f64) -> Score {
+        Score::try_new(v).unwrap_or_else(|| panic!("invalid score: {v}"))
+    }
+
+    /// Creates a score, returning `None` if `v` is not finite or is negative.
+    #[inline]
+    pub fn try_new(v: f64) -> Option<Score> {
+        if v.is_finite() && v >= 0.0 {
+            Some(Score(v))
+        } else {
+            None
+        }
+    }
+
+    /// The raw `f64` value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Multiplies by a non-negative integer factor (used for `(k - i) * u`
+    /// in the sufficient stop condition, Lemma 1).
+    #[inline]
+    pub fn times(self, n: usize) -> Score {
+        Score(self.0 * n as f64)
+    }
+
+    /// `true` if `self` is within relative tolerance `rel` of `other`.
+    ///
+    /// Different combination orders (e.g. `div-dp` vs `div-astar`) can
+    /// produce last-ulp differences on float scores; tests use this.
+    #[inline]
+    pub fn approx_eq(self, other: Score, rel: f64) -> bool {
+        let d = (self.0 - other.0).abs();
+        d <= rel * self.0.abs().max(other.0.abs()).max(1.0)
+    }
+}
+
+impl Eq for Score {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Score {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Values are finite by construction, so this is a true total order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[allow(clippy::non_canonical_partial_ord_impl)]
+impl std::hash::Hash for Score {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl Add for Score {
+    type Output = Score;
+    #[inline]
+    fn add(self, rhs: Score) -> Score {
+        Score(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Score {
+    #[inline]
+    fn add_assign(&mut self, rhs: Score) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Score {
+    type Output = Score;
+    /// Saturating subtraction: scores never go below zero.
+    #[inline]
+    fn sub(self, rhs: Score) -> Score {
+        Score((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for Score {
+    fn sum<I: Iterator<Item = Score>>(iter: I) -> Score {
+        iter.fold(Score::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Score {
+    #[inline]
+    fn from(v: u32) -> Score {
+        Score(v as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_invalid() {
+        assert!(Score::try_new(f64::NAN).is_none());
+        assert!(Score::try_new(f64::INFINITY).is_none());
+        assert!(Score::try_new(-1.0).is_none());
+        assert!(Score::try_new(0.0).is_some());
+        assert!(Score::try_new(10.5).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid score")]
+    fn new_panics_on_nan() {
+        let _ = Score::new(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Score::new(3.0), Score::new(1.0), Score::new(2.0)];
+        v.sort();
+        assert_eq!(v, vec![Score::new(1.0), Score::new(2.0), Score::new(3.0)]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Score::new(1.5) + Score::new(2.5), Score::new(4.0));
+        assert_eq!(Score::new(3.0).times(4), Score::new(12.0));
+        assert_eq!(Score::new(1.0) - Score::new(2.0), Score::ZERO);
+        let s: Score = [1.0, 2.0, 3.0].into_iter().map(Score::new).sum();
+        assert_eq!(s, Score::new(6.0));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_ulp_noise() {
+        let a = Score::new(0.1 + 0.2);
+        let b = Score::new(0.3);
+        assert!(a.approx_eq(b, 1e-12));
+        assert!(!Score::new(1.0).approx_eq(Score::new(1.1), 1e-3));
+    }
+}

@@ -1,0 +1,206 @@
+//! Result sources — the two top-k generation frameworks of §3.
+//!
+//! The paper observes that essentially all early-stopping top-k algorithms
+//! are either **incremental** (Algorithm 1: results arrive in non-increasing
+//! score order; the score of the last result bounds all unseen ones) or
+//! **bounding** (Algorithm 2: results arrive in any order but the algorithm
+//! maintains an explicit upper bound `unseen` for everything not yet
+//! generated — e.g. Fagin's threshold algorithm).
+//!
+//! [`ResultSource`] unifies both: a source yields scored results and
+//! reports an upper bound for the unseen remainder. The diversified search
+//! engine ([`crate::framework`]) is agnostic to which style backs it.
+
+use crate::score::Score;
+
+/// A search result paired with its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored<T> {
+    /// The application-level result (document id, path, tuple, …).
+    pub item: T,
+    /// Its relevance score.
+    pub score: Score,
+}
+
+impl<T> Scored<T> {
+    /// Convenience constructor.
+    pub fn new(item: T, score: Score) -> Scored<T> {
+        Scored { item, score }
+    }
+}
+
+/// Upper bound on the scores of all results a source has not yet returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnseenBound {
+    /// No bound is known yet (e.g. an incremental source before its first
+    /// result). Early stopping is impossible in this state.
+    Unbounded,
+    /// No unseen result scores more than this.
+    At(Score),
+}
+
+/// A stream of scored results with an unseen-score upper bound.
+///
+/// Contract: the value reported by [`unseen_bound`](ResultSource::unseen_bound)
+/// must be a valid upper bound on every result that `next_result` has not
+/// yet returned, and should be non-increasing over time (Lemma 2's
+/// assumption; the engine clamps violations defensively).
+pub trait ResultSource {
+    /// The application-level result type.
+    type Item;
+
+    /// Generates the next result, or `None` when exhausted
+    /// (`incremental-next()` / `bounding-next()` in Algorithms 1–2).
+    fn next_result(&mut self) -> Option<Scored<Self::Item>>;
+
+    /// Upper bound for all not-yet-returned results.
+    fn unseen_bound(&self) -> UnseenBound;
+}
+
+/// An **incremental** source over a pre-sorted result list: emits results
+/// in non-increasing score order; the unseen bound is the score of the last
+/// emitted result.
+#[derive(Debug, Clone)]
+pub struct IncrementalVecSource<T> {
+    items: std::vec::IntoIter<Scored<T>>,
+    last_score: Option<Score>,
+}
+
+impl<T> IncrementalVecSource<T> {
+    /// Wraps a list already sorted by non-increasing score.
+    ///
+    /// # Panics
+    /// Panics if the list is not sorted non-increasing.
+    pub fn new(items: Vec<Scored<T>>) -> IncrementalVecSource<T> {
+        assert!(
+            items.windows(2).all(|w| w[0].score >= w[1].score),
+            "incremental sources require non-increasing scores"
+        );
+        IncrementalVecSource {
+            items: items.into_iter(),
+            last_score: None,
+        }
+    }
+
+    /// Sorts the list (descending score, stable) and wraps it.
+    pub fn from_unsorted(mut items: Vec<Scored<T>>) -> IncrementalVecSource<T> {
+        items.sort_by_key(|r| std::cmp::Reverse(r.score));
+        IncrementalVecSource::new(items)
+    }
+}
+
+impl<T> ResultSource for IncrementalVecSource<T> {
+    type Item = T;
+
+    fn next_result(&mut self) -> Option<Scored<T>> {
+        let next = self.items.next()?;
+        self.last_score = Some(next.score);
+        Some(next)
+    }
+
+    fn unseen_bound(&self) -> UnseenBound {
+        match self.last_score {
+            Some(s) => UnseenBound::At(s),
+            None => UnseenBound::Unbounded,
+        }
+    }
+}
+
+/// A **bounding** source over an arbitrarily ordered result list: emits
+/// results in stored order while reporting the exact maximum of the
+/// remaining scores as the unseen bound (the idealized threshold-algorithm
+/// behaviour; useful for tests and examples).
+#[derive(Debug, Clone)]
+pub struct BoundingVecSource<T> {
+    items: Vec<Option<Scored<T>>>,
+    /// `suffix_max[i]` = max score of `items[i..]`.
+    suffix_max: Vec<Score>,
+    cursor: usize,
+}
+
+impl<T> BoundingVecSource<T> {
+    /// Wraps a list in its given (arbitrary) emission order.
+    pub fn new(items: Vec<Scored<T>>) -> BoundingVecSource<T> {
+        let n = items.len();
+        let mut suffix_max = vec![Score::ZERO; n + 1];
+        for i in (0..n).rev() {
+            suffix_max[i] = suffix_max[i + 1].max(items[i].score);
+        }
+        BoundingVecSource {
+            items: items.into_iter().map(Some).collect(),
+            suffix_max,
+            cursor: 0,
+        }
+    }
+}
+
+impl<T> ResultSource for BoundingVecSource<T> {
+    type Item = T;
+
+    fn next_result(&mut self) -> Option<Scored<T>> {
+        let slot = self.items.get_mut(self.cursor)?;
+        self.cursor += 1;
+        slot.take()
+    }
+
+    fn unseen_bound(&self) -> UnseenBound {
+        UnseenBound::At(self.suffix_max[self.cursor.min(self.suffix_max.len() - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u32) -> Score {
+        Score::from(v)
+    }
+
+    #[test]
+    fn incremental_emits_in_order_with_bound() {
+        let mut src = IncrementalVecSource::new(vec![
+            Scored::new("a", s(9)),
+            Scored::new("b", s(5)),
+            Scored::new("c", s(5)),
+        ]);
+        assert_eq!(src.unseen_bound(), UnseenBound::Unbounded);
+        assert_eq!(src.next_result().unwrap().item, "a");
+        assert_eq!(src.unseen_bound(), UnseenBound::At(s(9)));
+        assert_eq!(src.next_result().unwrap().item, "b");
+        assert_eq!(src.unseen_bound(), UnseenBound::At(s(5)));
+        assert_eq!(src.next_result().unwrap().item, "c");
+        assert!(src.next_result().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn incremental_rejects_unsorted() {
+        let _ = IncrementalVecSource::new(vec![Scored::new(1, s(1)), Scored::new(2, s(2))]);
+    }
+
+    #[test]
+    fn from_unsorted_sorts_descending() {
+        let mut src = IncrementalVecSource::from_unsorted(vec![
+            Scored::new("low", s(1)),
+            Scored::new("high", s(7)),
+        ]);
+        assert_eq!(src.next_result().unwrap().item, "high");
+    }
+
+    #[test]
+    fn bounding_reports_exact_suffix_max() {
+        let mut src = BoundingVecSource::new(vec![
+            Scored::new("mid", s(5)),
+            Scored::new("high", s(9)),
+            Scored::new("low", s(1)),
+        ]);
+        assert_eq!(src.unseen_bound(), UnseenBound::At(s(9)));
+        assert_eq!(src.next_result().unwrap().item, "mid");
+        assert_eq!(src.unseen_bound(), UnseenBound::At(s(9)));
+        assert_eq!(src.next_result().unwrap().item, "high");
+        assert_eq!(src.unseen_bound(), UnseenBound::At(s(1)));
+        assert_eq!(src.next_result().unwrap().item, "low");
+        assert_eq!(src.unseen_bound(), UnseenBound::At(Score::ZERO));
+        assert!(src.next_result().is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! The document corpus: documents + vocabulary + document frequencies.
+
+use crate::document::{DocId, Document, TermId};
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+use crate::vocab::Vocabulary;
+
+/// An in-memory corpus with everything Eq. 3 / Eq. 4 need precomputed:
+/// per-term document frequencies and the IDF table.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    vocab: Vocabulary,
+    docs: Vec<Document>,
+    doc_freq: Vec<u32>,
+    /// `idf(t) = max(0, ln(N / (df(t) + 1)))` — clamped at zero so scores
+    /// and Jaccard weights stay non-negative (terms present in almost every
+    /// document otherwise get a (small) negative IDF, which would break the
+    /// score invariants; ranking shape is unaffected).
+    idf: Vec<f64>,
+}
+
+impl Corpus {
+    /// Starts building a corpus by adding documents.
+    pub fn builder() -> CorpusBuilder {
+        CorpusBuilder::default()
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The document with id `d`.
+    pub fn doc(&self, d: DocId) -> &Document {
+        &self.docs[d as usize]
+    }
+
+    /// All documents.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Document frequency `df(t)` — number of documents containing `t`.
+    pub fn doc_freq(&self, t: TermId) -> u32 {
+        self.doc_freq[t as usize]
+    }
+
+    /// Inverse document frequency (clamped at zero; see struct docs).
+    #[inline]
+    pub fn idf(&self, t: TermId) -> f64 {
+        self.idf[t as usize]
+    }
+
+    /// The full IDF table, indexed by term id.
+    pub fn idf_table(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// Looks up a (lowercase) term.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.vocab.get(term)
+    }
+
+    /// Maximum document frequency over all terms (`π` in §8's kfreq
+    /// banding). Zero for an empty corpus.
+    pub fn max_doc_freq(&self) -> u32 {
+        self.doc_freq.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Incremental corpus builder.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    vocab: Vocabulary,
+    docs: Vec<Document>,
+}
+
+impl CorpusBuilder {
+    /// Pre-interns a synthetic vocabulary of `n` terms (`t000000` …) so
+    /// generated corpora can add documents by term id directly.
+    pub fn with_synthetic_vocab(n: usize) -> CorpusBuilder {
+        CorpusBuilder {
+            vocab: Vocabulary::synthetic(n),
+            docs: Vec::new(),
+        }
+    }
+
+    /// Tokenizes `text`, removes stop words, and adds the document.
+    /// Returns its [`DocId`].
+    pub fn add_text(&mut self, title: &str, text: &str) -> DocId {
+        let tokens: Vec<TermId> = tokenize(text)
+            .into_iter()
+            .filter(|t| !is_stopword(t))
+            .map(|t| self.vocab.intern(&t))
+            .collect();
+        self.add_tokens(title.to_owned(), tokens)
+    }
+
+    /// Adds a document from pre-interned token ids (synthetic corpora).
+    ///
+    /// # Panics
+    /// Panics if a token id is outside the current vocabulary.
+    pub fn add_tokens(&mut self, title: String, tokens: Vec<TermId>) -> DocId {
+        assert!(
+            tokens.iter().all(|&t| (t as usize) < self.vocab.len()),
+            "token id outside vocabulary"
+        );
+        let id = self.docs.len() as DocId;
+        self.docs.push(Document::from_tokens(title, tokens));
+        id
+    }
+
+    /// Number of documents added so far.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents were added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Finalizes: computes document frequencies and the IDF table.
+    pub fn build(self) -> Corpus {
+        let n_terms = self.vocab.len();
+        let n_docs = self.docs.len();
+        let mut doc_freq = vec![0u32; n_terms];
+        for d in &self.docs {
+            for &(t, _) in &d.terms {
+                doc_freq[t as usize] += 1;
+            }
+        }
+        let idf = doc_freq
+            .iter()
+            .map(|&df| {
+                if n_docs == 0 {
+                    0.0
+                } else {
+                    (n_docs as f64 / (df as f64 + 1.0)).ln().max(0.0)
+                }
+            })
+            .collect();
+        Corpus {
+            vocab: self.vocab,
+            docs: self.docs,
+            doc_freq,
+            idf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Corpus {
+        let mut b = Corpus::builder();
+        b.add_text("d0", "the quick brown fox jumps over the lazy dog");
+        b.add_text("d1", "the quick red fox");
+        b.add_text("d2", "a lazy dog sleeps");
+        b.build()
+    }
+
+    #[test]
+    fn stopwords_are_removed() {
+        let c = tiny_corpus();
+        assert_eq!(c.term_id("the"), None);
+        assert!(c.term_id("quick").is_some());
+        // d0: quick brown fox jumps over? "over" is a stop word.
+        assert_eq!(c.doc(0).len, 6); // quick brown fox jumps lazy dog
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let c = tiny_corpus();
+        let fox = c.term_id("fox").unwrap();
+        assert_eq!(c.doc_freq(fox), 2);
+        let lazy = c.term_id("lazy").unwrap();
+        assert_eq!(c.doc_freq(lazy), 2);
+        assert_eq!(c.max_doc_freq(), 2);
+    }
+
+    #[test]
+    fn idf_is_nonnegative_and_monotone_in_rarity() {
+        let c = tiny_corpus();
+        let fox = c.term_id("fox").unwrap(); // df 2
+        let brown = c.term_id("brown").unwrap(); // df 1
+        assert!(c.idf(brown) > c.idf(fox));
+        assert!(c.idf_table().iter().all(|&x| x >= 0.0));
+        // idf(fox) = ln(3/3) = 0 exactly (clamped case boundary).
+        assert_eq!(c.idf(fox), 0.0);
+    }
+
+    #[test]
+    fn synthetic_builder_round_trip() {
+        let mut b = CorpusBuilder::with_synthetic_vocab(10);
+        b.add_tokens("s0".into(), vec![0, 0, 3]);
+        b.add_tokens("s1".into(), vec![3, 9]);
+        let c = b.build();
+        assert_eq!(c.num_docs(), 2);
+        assert_eq!(c.doc_freq(3), 2);
+        assert_eq!(c.doc_freq(0), 1);
+        assert_eq!(c.doc(0).tf(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn rejects_unknown_token_ids() {
+        let mut b = CorpusBuilder::with_synthetic_vocab(2);
+        b.add_tokens("bad".into(), vec![5]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::builder().build();
+        assert_eq!(c.num_docs(), 0);
+        assert_eq!(c.max_doc_freq(), 0);
+    }
+}

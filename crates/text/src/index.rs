@@ -1,0 +1,133 @@
+//! The inverted index: per-term posting lists sorted by score contribution.
+//!
+//! Each posting stores the document and its *partial score*
+//! `tf · idf / sqrt(len)` for that term, so a list scan enumerates
+//! documents in non-increasing order of their single-term score (the
+//! incremental source of §8's reuters setup) and the threshold algorithm's
+//! sorted accesses are exactly list positions (the enwiki setup).
+
+use crate::corpus::Corpus;
+use crate::document::{DocId, TermId};
+
+/// One inverted-list entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// Term frequency of the list's term in `doc`.
+    pub tf: u32,
+    /// `tf · idf / sqrt(len(doc))` — this term's contribution to Eq. 3.
+    pub partial: f64,
+}
+
+/// Inverted index over a corpus.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    lists: Vec<Vec<Posting>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index; each list is sorted by `partial` descending
+    /// (ties: ascending doc id, so ordering is deterministic).
+    pub fn build(corpus: &Corpus) -> InvertedIndex {
+        let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); corpus.num_terms()];
+        for (doc_idx, doc) in corpus.docs().iter().enumerate() {
+            if doc.len == 0 {
+                continue;
+            }
+            let inv_sqrt_len = 1.0 / (doc.len as f64).sqrt();
+            for &(t, tf) in &doc.terms {
+                let partial = tf as f64 * corpus.idf(t) * inv_sqrt_len;
+                lists[t as usize].push(Posting {
+                    doc: doc_idx as DocId,
+                    tf,
+                    partial,
+                });
+            }
+        }
+        for list in &mut lists {
+            list.sort_by(|a, b| {
+                b.partial
+                    .partial_cmp(&a.partial)
+                    .expect("partial scores are finite")
+                    .then(a.doc.cmp(&b.doc))
+            });
+        }
+        InvertedIndex { lists }
+    }
+
+    /// The posting list for `term` (sorted by partial score, descending).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        &self.lists[term as usize]
+    }
+
+    /// Number of terms (lists).
+    pub fn num_terms(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of postings (index size).
+    pub fn num_postings(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tfidf;
+
+    fn corpus() -> Corpus {
+        let mut b = Corpus::builder();
+        b.add_text("d0", "apple apple orchard");
+        b.add_text("d1", "apple pie");
+        b.add_text("d2", "orchard walk trees");
+        b.add_text("d3", "completely different");
+        b.build()
+    }
+
+    #[test]
+    fn lists_cover_exactly_the_containing_docs() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let apple = c.term_id("apple").unwrap();
+        let docs: Vec<DocId> = idx.postings(apple).iter().map(|p| p.doc).collect();
+        let mut sorted = docs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn lists_are_sorted_by_partial_desc() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        for t in 0..c.num_terms() as TermId {
+            let list = idx.postings(t);
+            assert!(
+                list.windows(2).all(|w| w[0].partial >= w[1].partial),
+                "list for {t} unsorted"
+            );
+        }
+    }
+
+    #[test]
+    fn partials_match_eq3() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        for t in 0..c.num_terms() as TermId {
+            for p in idx.postings(t) {
+                let want = tfidf::partial_score(&c, t, p.doc);
+                assert!((p.partial - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn postings_count() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        // d0: 2 distinct, d1: 2, d2: 3, d3: 2.
+        assert_eq!(idx.num_postings(), 9);
+        assert_eq!(idx.num_terms(), c.num_terms());
+    }
+}

@@ -1,0 +1,201 @@
+//! Weighted (generalized) Jaccard similarity over term multisets
+//! (Eq. 4 of the paper):
+//!
+//! ```text
+//! sim(d1, d2) = Σ_{w ∈ d1 ∩ d2} idf(w) / Σ_{w ∈ d1 ∪ d2} idf(w)
+//! ```
+//!
+//! where `∩`/`∪` are **multiset** intersection/union — i.e. each term `w`
+//! contributes `idf(w) · min(c1, c2)` to the numerator and
+//! `idf(w) · max(c1, c2)` to the denominator.
+
+use crate::corpus::Corpus;
+use crate::document::Document;
+
+/// Eq. 4 over two document signatures using the corpus IDF table.
+/// Returns a value in `[0, 1]`; two empty (or all-zero-IDF) documents get 0.
+pub fn weighted_jaccard(corpus: &Corpus, d1: &Document, d2: &Document) -> f64 {
+    weighted_jaccard_with(corpus.idf_table(), d1, d2)
+}
+
+/// Total IDF weight of a document: `W(d) = Σ_w idf(w)·count(w)`.
+///
+/// Upper-bound lemma used by [`similar_above`]:
+/// `sim(d1, d2) ≤ min(W1, W2) / max(W1, W2)` because the multiset
+/// intersection weighs at most `min(W1, W2)` and the union at least
+/// `max(W1, W2)`.
+pub fn total_weight(idf: &[f64], d: &Document) -> f64 {
+    d.terms
+        .iter()
+        .map(|&(t, c)| idf[t as usize] * c as f64)
+        .sum()
+}
+
+/// `sim(d1, d2) > τ`, with an O(1) weight-ratio rejection before the full
+/// merge. `w1`/`w2` are the documents' [`total_weight`] values. This is the
+/// predicate the diversity-graph construction evaluates `O(|S|²)` times —
+/// most pairs differ enough in total weight to be rejected without
+/// touching the signatures.
+pub fn similar_above(idf: &[f64], d1: &Document, w1: f64, d2: &Document, w2: f64, tau: f64) -> bool {
+    let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+    if hi <= 0.0 || lo / hi <= tau {
+        return false;
+    }
+    weighted_jaccard_with(idf, d1, d2) > tau
+}
+
+/// Eq. 4 with an explicit per-term weight table.
+pub fn weighted_jaccard_with(idf: &[f64], d1: &Document, d2: &Document) -> f64 {
+    let mut inter = 0.0f64;
+    let mut union = 0.0f64;
+    let (a, b) = (&d1.terms, &d2.terms);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ta, ca) = a[i];
+        let (tb, cb) = b[j];
+        match ta.cmp(&tb) {
+            std::cmp::Ordering::Less => {
+                union += idf[ta as usize] * ca as f64;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                union += idf[tb as usize] * cb as f64;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let w = idf[ta as usize];
+                inter += w * ca.min(cb) as f64;
+                union += w * ca.max(cb) as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(t, c) in &a[i..] {
+        union += idf[t as usize] * c as f64;
+    }
+    for &(t, c) in &b[j..] {
+        union += idf[t as usize] * c as f64;
+    }
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(tokens: &[u32]) -> Document {
+        Document::from_tokens("t".into(), tokens.to_vec())
+    }
+
+    #[test]
+    fn identical_docs_have_similarity_one() {
+        let idf = vec![1.0; 10];
+        let d = doc(&[1, 2, 2, 5]);
+        assert_eq!(weighted_jaccard_with(&idf, &d, &d), 1.0);
+    }
+
+    #[test]
+    fn disjoint_docs_have_similarity_zero() {
+        let idf = vec![1.0; 10];
+        assert_eq!(weighted_jaccard_with(&idf, &doc(&[1, 2]), &doc(&[3, 4])), 0.0);
+    }
+
+    #[test]
+    fn multiset_counts_matter() {
+        // d1 = {a:2}, d2 = {a:1}: inter = 1, union = 2 → 0.5.
+        let idf = vec![1.0; 4];
+        let s = weighted_jaccard_with(&idf, &doc(&[0, 0]), &doc(&[0]));
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_tilt_the_ratio() {
+        // Shared term has weight 3, the unshared ones weight 1:
+        // d1 = {0,1}, d2 = {0,2} → inter = 3, union = 3 + 1 + 1 = 5.
+        let idf = vec![3.0, 1.0, 1.0];
+        let s = weighted_jaccard_with(&idf, &doc(&[0, 1]), &doc(&[0, 2]));
+        assert!((s - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let idf = vec![0.5, 2.0, 1.5, 1.0];
+        let d1 = doc(&[0, 1, 1, 3]);
+        let d2 = doc(&[1, 2, 3, 3]);
+        assert_eq!(
+            weighted_jaccard_with(&idf, &d1, &d2),
+            weighted_jaccard_with(&idf, &d2, &d1)
+        );
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let idf = vec![1.0, 0.3, 2.5, 0.0, 4.0];
+        let docs = [
+            doc(&[0, 1, 2]),
+            doc(&[2, 3, 4]),
+            doc(&[0, 0, 0, 4]),
+            doc(&[]),
+        ];
+        for a in &docs {
+            for b in &docs {
+                let s = weighted_jaccard_with(&idf, a, b);
+                assert!((0.0..=1.0).contains(&s), "sim {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_docs_are_dissimilar_not_nan() {
+        let idf = vec![1.0];
+        assert_eq!(weighted_jaccard_with(&idf, &doc(&[]), &doc(&[])), 0.0);
+    }
+
+    #[test]
+    fn prefilter_agrees_with_full_computation() {
+        use divtopk_core::rng::Pcg;
+        let mut rng = Pcg::new(31);
+        let idf: Vec<f64> = (0..40).map(|_| rng.unit_f64() * 3.0).collect();
+        let docs: Vec<Document> = (0..30)
+            .map(|i| {
+                let len = rng.range(1, 40) as usize;
+                let tokens: Vec<u32> = (0..len).map(|_| rng.below(40)).collect();
+                Document::from_tokens(format!("d{i}"), tokens)
+            })
+            .collect();
+        let weights: Vec<f64> = docs.iter().map(|d| total_weight(&idf, d)).collect();
+        for tau in [0.2, 0.5, 0.8] {
+            for i in 0..docs.len() {
+                for j in 0..docs.len() {
+                    let fast =
+                        similar_above(&idf, &docs[i], weights[i], &docs[j], weights[j], tau);
+                    let slow = weighted_jaccard_with(&idf, &docs[i], &docs[j]) > tau;
+                    assert_eq!(fast, slow, "docs {i},{j} τ {tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_integration() {
+        let mut b = crate::corpus::Corpus::builder();
+        b.add_text("a", "databases store structured data");
+        b.add_text("b", "databases store structured data"); // duplicate
+        b.add_text("c", "poetry about mountains");
+        // Filler so the duplicated terms keep a positive IDF
+        // (idf = ln(N/(df+1)) clamps to 0 when df + 1 ≥ N).
+        for i in 0..4 {
+            b.add_text(&format!("f{i}"), "filler noise words everywhere");
+        }
+        let c = b.build();
+        let s_dup = weighted_jaccard(&c, c.doc(0), c.doc(1));
+        let s_diff = weighted_jaccard(&c, c.doc(0), c.doc(2));
+        assert_eq!(s_dup, 1.0);
+        assert_eq!(s_diff, 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! # divtopk-text — text-search substrate for diversified top-k
+//!
+//! Everything the evaluation of *Diversifying Top-K Results* (VLDB 2012)
+//! needs around the core algorithms: a tokenizer and stop-word list, an
+//! in-memory corpus with IDF statistics, an inverted index, Eq. 3's
+//! length-normalized TF·IDF scoring, Eq. 4's weighted Jaccard similarity,
+//! the two §8 result sources (threshold algorithm for multi-keyword
+//! queries; posting-list scan for single keywords), deterministic synthetic
+//! corpora standing in for enwiki/reuters (see `DESIGN.md` §3 for why the
+//! substitution preserves the evaluation's shape), kfreq query banding
+//! (Fig. 12), and the [`search::DiversifiedSearcher`] glue.
+//!
+//! ```
+//! use divtopk_text::prelude::*;
+//!
+//! // Build a small corpus, index it, run a diversified search.
+//! let mut builder = Corpus::builder();
+//! builder.add_text("a1", "rust memory safety borrow checker");
+//! builder.add_text("a2", "rust memory safety borrow checker ownership");
+//! builder.add_text("a3", "rust web framework async");
+//! builder.add_text("a4", "gardening tips tomato");
+//! for i in 0..6 {
+//!     // Filler documents keep idf("rust") > 0 in this tiny corpus.
+//!     builder.add_text(&format!("f{i}"), "unrelated filler text");
+//! }
+//! let corpus = builder.build();
+//! let index = InvertedIndex::build(&corpus);
+//! let searcher = DiversifiedSearcher::new(&corpus, &index);
+//!
+//! let rust = corpus.term_id("rust").unwrap();
+//! let out = searcher
+//!     .search_scan(rust, &SearchOptions::new(2).with_tau(0.5))
+//!     .unwrap();
+//! // a1 and a2 are near-duplicates: only one of them may appear.
+//! assert_eq!(out.hits.len(), 2);
+//! ```
+
+pub mod corpus;
+pub mod document;
+pub mod index;
+pub mod jaccard;
+pub mod mmr;
+pub mod quality;
+pub mod query;
+pub mod scan;
+pub mod search;
+pub mod stopwords;
+pub mod synth;
+pub mod ta;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vocab;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::corpus::{Corpus, CorpusBuilder};
+    pub use crate::document::{DocId, Document, TermId};
+    pub use crate::index::{InvertedIndex, Posting};
+    pub use crate::jaccard::{
+        similar_above, total_weight, weighted_jaccard, weighted_jaccard_with,
+    };
+    pub use crate::mmr::{mmr_documents, mmr_rerank, MmrConfig};
+    pub use crate::quality::{diversified_score, redundancy};
+    pub use crate::query::{kfreq_band, query_for_band, representative_terms, KeywordQuery};
+    pub use crate::scan::ScanSource;
+    pub use crate::search::{DiversifiedSearcher, Hit, SearchOptions, SearchOutput};
+    pub use crate::synth::{generate, SynthConfig};
+    pub use crate::ta::TaSource;
+    pub use crate::tfidf::{partial_score, score};
+    pub use crate::tokenize::tokenize;
+}
+
+pub use prelude::*;

@@ -1,0 +1,200 @@
+//! Maximal Marginal Relevance (MMR) — the related-work baseline.
+//!
+//! The paper's §9 contrasts its *exact* formulation against the dominant
+//! two-step heuristic family [1, 5, 6, 11]: first fetch the top-`l`
+//! (`l > k`) results by relevance alone, then greedily re-rank them by a
+//! *usefulness* score mixing relevance with redundancy w.r.t. the already
+//! selected results. Carbonell & Goldstein's MMR is the canonical member:
+//!
+//! ```text
+//! next = argmax_{d ∈ R∖S} [ λ·score(d) − (1−λ)·max_{s ∈ S} sim(d, s) ]
+//! ```
+//!
+//! Unlike Definition 1, MMR (a) never *excludes* similar results — it only
+//! penalizes them, so near-duplicates can still appear; (b) is greedy, so
+//! it inherits the unbounded approximation gap of §4's greedy example; and
+//! (c) needs all `l` results up front (no early stop). It is implemented
+//! here as a baseline for quality comparisons (see `quality.rs` and the
+//! `figures` harness's AB5 notes).
+
+use crate::corpus::Corpus;
+use crate::document::DocId;
+use crate::jaccard::weighted_jaccard;
+use divtopk_core::{Score, Scored};
+
+/// MMR configuration.
+#[derive(Debug, Clone)]
+pub struct MmrConfig {
+    /// Trade-off: 1.0 = pure relevance, 0.0 = pure anti-redundancy.
+    pub lambda: f64,
+    /// How many results to select.
+    pub k: usize,
+}
+
+impl MmrConfig {
+    /// A common default (λ = 0.7).
+    pub fn new(k: usize) -> MmrConfig {
+        MmrConfig { lambda: 0.7, k }
+    }
+
+    /// Overrides λ.
+    pub fn with_lambda(mut self, lambda: f64) -> MmrConfig {
+        assert!((0.0..=1.0).contains(&lambda), "λ must be in [0, 1]");
+        self.lambda = lambda;
+        self
+    }
+}
+
+/// Greedy MMR re-ranking of scored candidates with a generic similarity.
+///
+/// Scores are normalized by the maximum candidate score so λ weighs
+/// comparable magnitudes. Returns at most `config.k` items in selection
+/// order. `O(k · n)` similarity evaluations.
+pub fn mmr_rerank<T: Clone>(
+    candidates: &[Scored<T>],
+    similarity: impl Fn(&T, &T) -> f64,
+    config: &MmrConfig,
+) -> Vec<Scored<T>> {
+    let n = candidates.len();
+    if n == 0 || config.k == 0 {
+        return Vec::new();
+    }
+    let max_score = candidates
+        .iter()
+        .map(|c| c.score.get())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut selected: Vec<usize> = Vec::with_capacity(config.k.min(n));
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Max similarity of each remaining candidate to the selected set,
+    // maintained incrementally.
+    let mut max_sim = vec![0.0f64; n];
+
+    while selected.len() < config.k && !remaining.is_empty() {
+        let (pos, &best_idx) = remaining
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                let ua = config.lambda * candidates[a].score.get() / max_score
+                    - (1.0 - config.lambda) * max_sim[a];
+                let ub = config.lambda * candidates[b].score.get() / max_score
+                    - (1.0 - config.lambda) * max_sim[b];
+                ua.partial_cmp(&ub).expect("finite utilities").then(b.cmp(&a))
+            })
+            .expect("non-empty remaining");
+        remaining.swap_remove(pos);
+        for &r in &remaining {
+            let s = similarity(&candidates[r].item, &candidates[best_idx].item);
+            if s > max_sim[r] {
+                max_sim[r] = s;
+            }
+        }
+        selected.push(best_idx);
+    }
+    selected.into_iter().map(|i| candidates[i].clone()).collect()
+}
+
+/// MMR over documents with the corpus's weighted-Jaccard similarity
+/// (Eq. 4) — the apples-to-apples baseline for the diversified search.
+pub fn mmr_documents(
+    corpus: &Corpus,
+    candidates: &[Scored<DocId>],
+    config: &MmrConfig,
+) -> Vec<Scored<DocId>> {
+    mmr_rerank(
+        candidates,
+        |&a, &b| weighted_jaccard(corpus, corpus.doc(a), corpus.doc(b)),
+        config,
+    )
+}
+
+/// Total relevance score of an MMR selection.
+pub fn selection_score<T>(selection: &[Scored<T>]) -> Score {
+    selection.iter().map(|r| r.score).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(items: &[(u32, f64)]) -> Vec<Scored<u32>> {
+        items
+            .iter()
+            .map(|&(id, s)| Scored::new(id, Score::new(s)))
+            .collect()
+    }
+
+    #[test]
+    fn pure_relevance_is_plain_topk() {
+        let cands = scored(&[(0, 5.0), (1, 9.0), (2, 7.0), (3, 1.0)]);
+        let out = mmr_rerank(&cands, |_, _| 1.0, &MmrConfig::new(2).with_lambda(1.0));
+        let ids: Vec<u32> = out.iter().map(|r| r.item).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn redundancy_penalty_demotes_duplicates() {
+        // 0 and 1 are near-duplicates; 2 is distinct with a lower score.
+        let cands = scored(&[(0, 10.0), (1, 9.9), (2, 6.0)]);
+        let sim = |a: &u32, b: &u32| {
+            if (*a, *b) == (0, 1) || (*a, *b) == (1, 0) {
+                0.95
+            } else {
+                0.0
+            }
+        };
+        let out = mmr_rerank(&cands, sim, &MmrConfig::new(2).with_lambda(0.5));
+        let ids: Vec<u32> = out.iter().map(|r| r.item).collect();
+        assert_eq!(ids, vec![0, 2], "the duplicate must lose to the distinct doc");
+    }
+
+    #[test]
+    fn mmr_does_not_exclude_duplicates_when_k_is_large() {
+        // The key semantic difference from Definition 1: with room left,
+        // MMR still emits the near-duplicate.
+        let cands = scored(&[(0, 10.0), (1, 9.9), (2, 6.0)]);
+        let sim = |a: &u32, b: &u32| if *a != *b && *a + *b == 1 { 0.95 } else { 0.0 };
+        let out = mmr_rerank(&cands, sim, &MmrConfig::new(3).with_lambda(0.5));
+        assert_eq!(out.len(), 3, "MMR penalizes but never drops");
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let none: Vec<Scored<u32>> = Vec::new();
+        assert!(mmr_rerank(&none, |_, _| 0.0, &MmrConfig::new(3)).is_empty());
+        let cands = scored(&[(0, 1.0)]);
+        assert!(mmr_rerank(&cands, |_, _| 0.0, &MmrConfig::new(0)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let cands = scored(&[(0, 5.0), (1, 5.0), (2, 5.0)]);
+        let a = mmr_rerank(&cands, |_, _| 0.0, &MmrConfig::new(2));
+        let b = mmr_rerank(&cands, |_, _| 0.0, &MmrConfig::new(2));
+        assert_eq!(
+            a.iter().map(|r| r.item).collect::<Vec<_>>(),
+            b.iter().map(|r| r.item).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn document_mmr_prefers_diverse_docs() {
+        let mut b = Corpus::builder();
+        b.add_text("dup1", "solar panels efficiency report");
+        b.add_text("dup2", "solar panels efficiency report update");
+        b.add_text("other", "wind turbines offshore installation");
+        for i in 0..6 {
+            b.add_text(&format!("f{i}"), "filler background noise text");
+        }
+        let corpus = b.build();
+        let cands = vec![
+            Scored::new(0u32, Score::new(10.0)),
+            Scored::new(1u32, Score::new(9.5)),
+            Scored::new(2u32, Score::new(7.0)),
+        ];
+        let out = mmr_documents(&corpus, &cands, &MmrConfig::new(2).with_lambda(0.5));
+        let ids: Vec<DocId> = out.iter().map(|r| r.item).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(selection_score(&out), Score::new(17.0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Result-quality metrics for comparing selection strategies.
+//!
+//! The paper argues by construction (exactness) rather than by IR metrics,
+//! but comparing the exact diversified top-k against greedy and MMR needs a
+//! common yardstick. Two natural ones for Definition 1's objective:
+//!
+//! * [`diversified_score`] — the paper's objective itself: total score of
+//!   the selection *if it satisfies the pairwise-dissimilarity constraint*,
+//!   else the total score of its best feasible subset is NOT computed —
+//!   constraint violations are reported separately by [`redundancy`];
+//! * [`redundancy`] — how much pairwise similarity above τ a selection
+//!   carries (0 for any feasible diversified answer).
+
+use crate::corpus::Corpus;
+use crate::document::DocId;
+use crate::jaccard::weighted_jaccard;
+use divtopk_core::{Score, Scored};
+
+/// Total relevance score of a selection.
+pub fn total_score(selection: &[Scored<DocId>]) -> Score {
+    selection.iter().map(|r| r.score).sum()
+}
+
+/// Counts pairs whose similarity exceeds `tau` and returns
+/// `(violating_pairs, max_pairwise_similarity)`.
+pub fn redundancy(corpus: &Corpus, selection: &[Scored<DocId>], tau: f64) -> (usize, f64) {
+    let mut violations = 0;
+    let mut max_sim = 0.0f64;
+    for i in 0..selection.len() {
+        for j in (i + 1)..selection.len() {
+            let s = weighted_jaccard(
+                corpus,
+                corpus.doc(selection[i].item),
+                corpus.doc(selection[j].item),
+            );
+            max_sim = max_sim.max(s);
+            if s > tau {
+                violations += 1;
+            }
+        }
+    }
+    (violations, max_sim)
+}
+
+/// The paper's objective value of a selection at threshold `tau`:
+/// its total score when feasible (no pair above τ), `None` otherwise.
+pub fn diversified_score(
+    corpus: &Corpus,
+    selection: &[Scored<DocId>],
+    tau: f64,
+) -> Option<Score> {
+    let (violations, _) = redundancy(corpus, selection, tau);
+    (violations == 0).then(|| total_score(selection))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut b = Corpus::builder();
+        b.add_text("a", "solar panels efficiency report");
+        b.add_text("b", "solar panels efficiency report"); // exact dup of a
+        b.add_text("c", "wind turbines offshore");
+        for i in 0..5 {
+            b.add_text(&format!("f{i}"), "noise filler words");
+        }
+        b.build()
+    }
+
+    fn sel(ids: &[(u32, f64)]) -> Vec<Scored<DocId>> {
+        ids.iter().map(|&(d, s)| Scored::new(d, Score::new(s))).collect()
+    }
+
+    #[test]
+    fn redundancy_counts_similar_pairs() {
+        let c = corpus();
+        let s = sel(&[(0, 5.0), (1, 4.0), (2, 3.0)]);
+        let (violations, max_sim) = redundancy(&c, &s, 0.6);
+        assert_eq!(violations, 1); // the (a, b) duplicate pair
+        assert_eq!(max_sim, 1.0);
+    }
+
+    #[test]
+    fn diversified_score_requires_feasibility() {
+        let c = corpus();
+        let infeasible = sel(&[(0, 5.0), (1, 4.0)]);
+        assert_eq!(diversified_score(&c, &infeasible, 0.6), None);
+        let feasible = sel(&[(0, 5.0), (2, 3.0)]);
+        assert_eq!(diversified_score(&c, &feasible, 0.6), Some(Score::new(8.0)));
+    }
+
+    #[test]
+    fn empty_selection_is_feasible_and_zero() {
+        let c = corpus();
+        assert_eq!(diversified_score(&c, &[], 0.6), Some(Score::ZERO));
+        assert_eq!(redundancy(&c, &[], 0.6), (0, 0.0));
+    }
+}

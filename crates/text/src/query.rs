@@ -1,0 +1,154 @@
+//! Keyword queries and the paper's `kfreq` banding (§8, Fig. 12).
+//!
+//! The paper buckets keywords by document frequency: with `π` the maximum
+//! df over all (non-stop-word) terms, a keyword "has frequency `p`"
+//! (`p ∈ {1..5}`) iff its df lies in `((p−1)·π/5, p·π/5]`. Experiments then
+//! vary `kfreq`, the average frequency band of the query's keywords.
+
+use crate::corpus::Corpus;
+use crate::document::TermId;
+
+/// A multi-keyword query (term ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordQuery {
+    /// Query terms (deduplicated).
+    pub terms: Vec<TermId>,
+}
+
+impl KeywordQuery {
+    /// Builds a query from strings, dropping unknown terms.
+    pub fn parse(corpus: &Corpus, text: &str) -> KeywordQuery {
+        let mut terms: Vec<TermId> = crate::tokenize::tokenize(text)
+            .into_iter()
+            .filter(|t| !crate::stopwords::is_stopword(t))
+            .filter_map(|t| corpus.term_id(&t))
+            .collect();
+        terms.sort_unstable();
+        terms.dedup();
+        KeywordQuery { terms }
+    }
+}
+
+/// The frequency band (`1..=5`) of a term with document frequency `df`,
+/// given the corpus maximum `π`. Terms with `df = 0` have no band.
+pub fn kfreq_band(df: u32, pi: u32) -> Option<u8> {
+    if df == 0 || pi == 0 {
+        return None;
+    }
+    // Band p covers ((p-1)·π/5, p·π/5]; equivalently ceil(5·df/π) clamped.
+    let band = ((df as u64 * 5).div_ceil(pi as u64)).clamp(1, 5);
+    Some(band as u8)
+}
+
+/// Selects, for each band `1..=5`, up to `per_band` representative terms:
+/// the terms whose df is closest to the band's midpoint (deterministic
+/// tie-break by term id). Bands with no inhabitants come back empty.
+pub fn representative_terms(corpus: &Corpus, per_band: usize) -> [Vec<TermId>; 5] {
+    let pi = corpus.max_doc_freq();
+    let mut per: [Vec<(u64, TermId)>; 5] = Default::default();
+    if pi == 0 {
+        return per.map(|_| Vec::new());
+    }
+    for t in 0..corpus.num_terms() as TermId {
+        let df = corpus.doc_freq(t);
+        let Some(band) = kfreq_band(df, pi) else {
+            continue;
+        };
+        let b = band as usize - 1;
+        // Distance to the band midpoint (b + 0.5)·π/5, kept integral by
+        // scaling both sides by 10: |10·df − (2b + 1)·π|.
+        let dist = (df as u64 * 10).abs_diff((2 * b as u64 + 1) * pi as u64);
+        per[b].push((dist, t));
+    }
+    per.map(|mut v| {
+        v.sort_unstable();
+        v.truncate(per_band);
+        v.into_iter().map(|(_, t)| t).collect()
+    })
+}
+
+/// Builds one query of `num_terms` terms from band `kfreq` (1..=5),
+/// deterministically from `seed`. Returns `None` when the band is empty.
+pub fn query_for_band(
+    corpus: &Corpus,
+    kfreq: u8,
+    num_terms: usize,
+    seed: u64,
+) -> Option<KeywordQuery> {
+    assert!((1..=5).contains(&kfreq));
+    let reps = representative_terms(corpus, num_terms.max(8) * 4);
+    let pool = &reps[kfreq as usize - 1];
+    if pool.is_empty() {
+        return None;
+    }
+    let mut rng = divtopk_core::rng::Pcg::new(seed ^ (kfreq as u64) << 32);
+    let mut terms: Vec<TermId> = Vec::new();
+    let mut guard = 0;
+    while terms.len() < num_terms.min(pool.len()) && guard < 1000 {
+        let cand = pool[rng.below(pool.len() as u32) as usize];
+        if !terms.contains(&cand) {
+            terms.push(cand);
+        }
+        guard += 1;
+    }
+    terms.sort_unstable();
+    Some(KeywordQuery { terms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn band_boundaries() {
+        // π = 100: band 1 = (0,20], band 2 = (20,40], … band 5 = (80,100].
+        assert_eq!(kfreq_band(1, 100), Some(1));
+        assert_eq!(kfreq_band(20, 100), Some(1));
+        assert_eq!(kfreq_band(21, 100), Some(2));
+        assert_eq!(kfreq_band(80, 100), Some(4));
+        assert_eq!(kfreq_band(81, 100), Some(5));
+        assert_eq!(kfreq_band(100, 100), Some(5));
+        assert_eq!(kfreq_band(0, 100), None);
+        assert_eq!(kfreq_band(5, 0), None);
+    }
+
+    #[test]
+    fn representative_terms_live_in_their_band() {
+        let c = generate(&SynthConfig::tiny());
+        let pi = c.max_doc_freq();
+        let reps = representative_terms(&c, 3);
+        for (b, terms) in reps.iter().enumerate() {
+            for &t in terms {
+                assert_eq!(
+                    kfreq_band(c.doc_freq(t), pi),
+                    Some(b as u8 + 1),
+                    "term {t} df {} in wrong band",
+                    c.doc_freq(t)
+                );
+            }
+        }
+        // The Zipf spectrum guarantees at least the low bands are populated.
+        assert!(!reps[0].is_empty());
+    }
+
+    #[test]
+    fn query_for_band_is_deterministic() {
+        let c = generate(&SynthConfig::tiny());
+        let q1 = query_for_band(&c, 1, 2, 42);
+        let q2 = query_for_band(&c, 1, 2, 42);
+        assert_eq!(q1, q2);
+        assert!(q1.unwrap().terms.len() <= 2);
+    }
+
+    #[test]
+    fn parse_drops_stopwords_and_unknowns() {
+        let mut b = Corpus::builder();
+        b.add_text("d", "solar panels power the grid");
+        let c = b.build();
+        let q = KeywordQuery::parse(&c, "The Solar PANELS zzz-unknown");
+        assert_eq!(q.terms.len(), 2);
+        assert!(q.terms.contains(&c.term_id("solar").unwrap()));
+        assert!(q.terms.contains(&c.term_id("panels").unwrap()));
+    }
+}

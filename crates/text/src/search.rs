@@ -1,0 +1,316 @@
+//! End-to-end diversified document search: corpus + index + framework.
+//!
+//! This is the layer the paper's experiments exercise: a keyword query goes
+//! through either the threshold algorithm (multi-keyword, bounding) or a
+//! posting-list scan (single keyword, incremental); the diversified-search
+//! engine pulls results, builds the diversity graph with weighted-Jaccard
+//! similarity at threshold `τ`, and stops as early as Lemmas 1/3 allow.
+
+use crate::corpus::Corpus;
+use crate::document::{DocId, TermId};
+use crate::index::InvertedIndex;
+use crate::jaccard::{similar_above, total_weight};
+use crate::query::KeywordQuery;
+use crate::scan::ScanSource;
+use crate::ta::TaSource;
+use divtopk_core::{
+    DivSearchConfig, DivTopK, ExactAlgorithm, FrameworkMetrics, Score, SearchError, SearchLimits,
+};
+
+/// A diversified hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The document.
+    pub doc: DocId,
+    /// Its Eq. 3 score for the query.
+    pub score: Score,
+}
+
+/// Result of a diversified search.
+#[derive(Debug)]
+pub struct SearchOutput {
+    /// Diversified top-k hits, best first; no two exceed the similarity
+    /// threshold pairwise, and the total score is maximal.
+    pub hits: Vec<Hit>,
+    /// Total score.
+    pub total_score: Score,
+    /// Framework counters (results generated, inner searches, early stop).
+    pub metrics: FrameworkMetrics,
+}
+
+/// A searcher bundling a corpus and its inverted index.
+pub struct DiversifiedSearcher<'a> {
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    /// Per-document total IDF weight — powers the O(1) similarity
+    /// prefilter ([`similar_above`]) in the `O(|S|²)` graph construction.
+    doc_weights: Vec<f64>,
+}
+
+/// Options for one search call.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Number of diversified results (`k`).
+    pub k: usize,
+    /// Similarity threshold `τ` (two docs are similar iff Jaccard > τ).
+    pub tau: f64,
+    /// Inner exact algorithm.
+    pub algorithm: ExactAlgorithm,
+    /// Budgets for each inner search (`INF` emulation when exceeded).
+    pub limits: SearchLimits,
+    /// Framework bound-decay throttle (0.0 = the paper's per-result
+    /// checking; see `DivSearchConfig::min_bound_decay`).
+    pub bound_decay: f64,
+}
+
+impl SearchOptions {
+    /// Defaults matching the paper's defaults: τ = 0.6, div-cut, no budget.
+    pub fn new(k: usize) -> SearchOptions {
+        SearchOptions {
+            k,
+            tau: 0.6,
+            algorithm: ExactAlgorithm::Cut,
+            limits: SearchLimits::unlimited(),
+            bound_decay: 0.0,
+        }
+    }
+
+    /// Overrides the framework bound-decay throttle.
+    pub fn with_bound_decay(mut self, decay: f64) -> SearchOptions {
+        self.bound_decay = decay;
+        self
+    }
+
+    /// Overrides τ.
+    pub fn with_tau(mut self, tau: f64) -> SearchOptions {
+        self.tau = tau;
+        self
+    }
+
+    /// Overrides the inner algorithm.
+    pub fn with_algorithm(mut self, algorithm: ExactAlgorithm) -> SearchOptions {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the inner-search budgets.
+    pub fn with_limits(mut self, limits: SearchLimits) -> SearchOptions {
+        self.limits = limits;
+        self
+    }
+}
+
+impl<'a> DiversifiedSearcher<'a> {
+    /// Creates a searcher over a prebuilt corpus and index.
+    pub fn new(corpus: &'a Corpus, index: &'a InvertedIndex) -> DiversifiedSearcher<'a> {
+        let idf = corpus.idf_table();
+        let doc_weights = corpus.docs().iter().map(|d| total_weight(idf, d)).collect();
+        DiversifiedSearcher {
+            corpus,
+            index,
+            doc_weights,
+        }
+    }
+
+    /// Multi-keyword diversified search via the threshold algorithm
+    /// (bounding framework — the paper's enwiki configuration).
+    pub fn search_ta(
+        &self,
+        query: &KeywordQuery,
+        options: &SearchOptions,
+    ) -> Result<SearchOutput, SearchError> {
+        let source = TaSource::new(self.corpus, self.index, &query.terms);
+        self.run(source, options)
+    }
+
+    /// Single-keyword diversified search via a posting-list scan
+    /// (incremental framework — the paper's reuters configuration).
+    pub fn search_scan(
+        &self,
+        term: TermId,
+        options: &SearchOptions,
+    ) -> Result<SearchOutput, SearchError> {
+        let source = ScanSource::new(self.index, term);
+        self.run(source, options)
+    }
+
+    fn run<S>(&self, source: S, options: &SearchOptions) -> Result<SearchOutput, SearchError>
+    where
+        S: divtopk_core::ResultSource<Item = DocId>,
+    {
+        let corpus = self.corpus;
+        let weights = &self.doc_weights;
+        let tau = options.tau;
+        let similar = move |a: &DocId, b: &DocId| {
+            similar_above(
+                corpus.idf_table(),
+                corpus.doc(*a),
+                weights[*a as usize],
+                corpus.doc(*b),
+                weights[*b as usize],
+                tau,
+            )
+        };
+        let config = DivSearchConfig::new(options.k)
+            .with_algorithm(options.algorithm.clone())
+            .with_limits(options.limits.clone())
+            .with_bound_decay(options.bound_decay);
+        let out = DivTopK::new(source, similar, config).run()?;
+        let hits = out
+            .selected
+            .iter()
+            .map(|r| Hit {
+                doc: r.item,
+                score: r.score,
+            })
+            .collect();
+        Ok(SearchOutput {
+            hits,
+            total_score: out.total_score,
+            metrics: out.metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::weighted_jaccard;
+    use crate::query::query_for_band;
+    use crate::synth::{generate, SynthConfig};
+    use divtopk_core::exhaustive::exhaustive;
+    use divtopk_core::DiversityGraph;
+
+    fn setup() -> (Corpus, InvertedIndex) {
+        let corpus = generate(&SynthConfig::tiny());
+        let index = InvertedIndex::build(&corpus);
+        (corpus, index)
+    }
+
+    /// Offline oracle: materialize *all* matching docs, build the full
+    /// diversity graph, solve exhaustively.
+    fn offline_optimum(
+        corpus: &Corpus,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+        tau: f64,
+    ) -> Score {
+        use std::collections::HashSet;
+        let mut docs: HashSet<DocId> = HashSet::new();
+        for &t in terms {
+            for p in index.postings(t) {
+                docs.insert(p.doc);
+            }
+        }
+        let docs: Vec<DocId> = docs.into_iter().collect();
+        let items: Vec<(DocId, Score)> = docs
+            .iter()
+            .map(|&d| (d, crate::tfidf::score(corpus, terms, d)))
+            .collect();
+        let (graph, _) = DiversityGraph::from_items(
+            &items,
+            |&(_, s)| s,
+            |&(a, _), &(b, _)| weighted_jaccard(corpus, corpus.doc(a), corpus.doc(b)) > tau,
+        );
+        exhaustive(&graph, k).best().score()
+    }
+
+    #[test]
+    fn scan_search_matches_offline_oracle() {
+        let (corpus, index) = setup();
+        // Pick a term with a moderately sized posting list so the oracle
+        // stays tractable.
+        let term = (0..corpus.num_terms() as TermId)
+            .find(|&t| (8..=18).contains(&index.postings(t).len()))
+            .expect("tiny corpus has mid-frequency terms");
+        let options = SearchOptions::new(4).with_tau(0.3);
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let out = searcher.search_scan(term, &options).unwrap();
+        let want = offline_optimum(&corpus, &index, &[term], 4, 0.3);
+        assert!(
+            out.total_score.approx_eq(want, 1e-9),
+            "got {} want {want}",
+            out.total_score
+        );
+        // Hits are pairwise dissimilar.
+        for i in 0..out.hits.len() {
+            for j in (i + 1)..out.hits.len() {
+                let s = weighted_jaccard(
+                    &corpus,
+                    corpus.doc(out.hits[i].doc),
+                    corpus.doc(out.hits[j].doc),
+                );
+                assert!(s <= 0.3, "hits {i},{j} too similar ({s})");
+            }
+        }
+    }
+
+    #[test]
+    fn ta_search_matches_offline_oracle() {
+        let (corpus, index) = setup();
+        let query = query_for_band(&corpus, 2, 2, 5).expect("band 2 populated");
+        let options = SearchOptions::new(3).with_tau(0.4);
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let out = searcher.search_ta(&query, &options).unwrap();
+        let want = offline_optimum(&corpus, &index, &query.terms, 3, 0.4);
+        assert!(
+            out.total_score.approx_eq(want, 1e-9),
+            "got {} want {want}",
+            out.total_score
+        );
+    }
+
+    #[test]
+    fn all_algorithms_agree_end_to_end() {
+        let (corpus, index) = setup();
+        let query = query_for_band(&corpus, 1, 2, 11).expect("band 1 populated");
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let mut scores = Vec::new();
+        for algorithm in [ExactAlgorithm::AStar, ExactAlgorithm::Dp, ExactAlgorithm::Cut] {
+            let options = SearchOptions::new(5).with_tau(0.5).with_algorithm(algorithm);
+            scores.push(searcher.search_ta(&query, &options).unwrap().total_score);
+        }
+        assert!(scores[0].approx_eq(scores[1], 1e-9));
+        assert!(scores[1].approx_eq(scores[2], 1e-9));
+    }
+
+    #[test]
+    fn early_stop_happens_on_real_corpus() {
+        let (corpus, index) = setup();
+        let term = (0..corpus.num_terms() as TermId)
+            .max_by_key(|&t| index.postings(t).len())
+            .unwrap();
+        let list_len = index.postings(term).len();
+        assert!(list_len > 50, "need a popular term, got {list_len}");
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let out = searcher
+            .search_scan(term, &SearchOptions::new(3).with_tau(0.98))
+            .unwrap();
+        // τ≈1 → everything dissimilar → top-3 by score, found after ~k pulls.
+        assert!(
+            (out.metrics.results_generated as usize) < list_len,
+            "no early stop: pulled {} of {}",
+            out.metrics.results_generated,
+            list_len
+        );
+        assert!(out.metrics.early_stopped);
+        assert_eq!(out.hits.len(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_as_error() {
+        let (corpus, index) = setup();
+        let term = (0..corpus.num_terms() as TermId)
+            .max_by_key(|&t| index.postings(t).len())
+            .unwrap();
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let options = SearchOptions::new(10)
+            .with_tau(0.2)
+            .with_limits(SearchLimits {
+                max_expansions: Some(1),
+                ..SearchLimits::default()
+            });
+        assert!(searcher.search_scan(term, &options).is_err());
+    }
+}

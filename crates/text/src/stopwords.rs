@@ -1,0 +1,63 @@
+//! English stop-word list.
+//!
+//! The paper removes stop words before computing both document lengths and
+//! the weighted Jaccard similarity (§8). This is the classic Van
+//! Rijsbergen-style list trimmed to common web-search practice.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The raw stop-word list (lowercase).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+fn stopword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// True iff `word` (assumed lowercase) is a stop word.
+#[inline]
+pub fn is_stopword(word: &str) -> bool {
+    stopword_set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_stopwords_detected() {
+        for w in ["the", "and", "of", "is", "a"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["database", "diversified", "spokesman", "lake", "billion"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_unique() {
+        let mut seen = HashSet::new();
+        for w in STOPWORDS {
+            assert_eq!(*w, w.to_lowercase());
+            assert!(seen.insert(w), "duplicate stop word {w}");
+        }
+    }
+}

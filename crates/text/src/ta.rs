@@ -1,0 +1,248 @@
+//! Fagin's Threshold Algorithm as a **bounding** result source.
+//!
+//! For a multi-keyword query (the paper's enwiki setup, §8), the score of a
+//! document is the sum of per-term partial scores (Eq. 3). The TA performs
+//! sorted accesses round-robin over the query terms' posting lists; on the
+//! first sighting of a document it random-accesses the remaining terms to
+//! compute the full score, and the *threshold* — the sum of the partial
+//! scores at the current list positions — upper-bounds every document not
+//! yet seen. That threshold is exactly the `unseen` bound of the bounding
+//! top-k framework (Algorithm 2), which the diversified-search engine
+//! consumes unchanged.
+
+use crate::corpus::Corpus;
+use crate::document::{DocId, TermId};
+use crate::index::InvertedIndex;
+use crate::tfidf;
+use divtopk_core::{ResultSource, Score, Scored, UnseenBound};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Threshold-algorithm source over an index for one multi-keyword query.
+pub struct TaSource<'a> {
+    corpus: &'a Corpus,
+    query: Vec<TermId>,
+    lists: Vec<&'a [crate::index::Posting]>,
+    cursors: Vec<usize>,
+    /// Which list the next sorted access hits.
+    next_list: usize,
+    seen: HashSet<DocId>,
+    /// Fully-scored documents discovered but not yet handed out.
+    buffer: VecDeque<Scored<DocId>>,
+    /// Sorted accesses performed (exposed for benches).
+    sorted_accesses: u64,
+    /// Random accesses performed (exposed for benches).
+    random_accesses: u64,
+}
+
+impl<'a> TaSource<'a> {
+    /// Creates a TA source for `query` (term ids; duplicates are removed).
+    pub fn new(corpus: &'a Corpus, index: &'a InvertedIndex, query: &[TermId]) -> TaSource<'a> {
+        let mut terms: Vec<TermId> = query.to_vec();
+        terms.sort_unstable();
+        terms.dedup();
+        let lists = terms
+            .iter()
+            .map(|&t| index.postings(t))
+            .collect::<Vec<_>>();
+        TaSource {
+            corpus,
+            cursors: vec![0; terms.len()],
+            next_list: 0,
+            query: terms,
+            lists,
+            seen: HashSet::new(),
+            buffer: VecDeque::new(),
+            sorted_accesses: 0,
+            random_accesses: 0,
+        }
+    }
+
+    /// Threshold over unseen documents: sum of the partial scores at the
+    /// current cursor positions (an exhausted list contributes 0).
+    fn threshold(&self) -> f64 {
+        self.lists
+            .iter()
+            .zip(&self.cursors)
+            .map(|(list, &cur)| list.get(cur).map_or(0.0, |p| p.partial))
+            .sum()
+    }
+
+    /// True when every list is exhausted.
+    fn exhausted(&self) -> bool {
+        self.lists
+            .iter()
+            .zip(&self.cursors)
+            .all(|(list, &cur)| cur >= list.len())
+    }
+
+    /// Performs sorted accesses until one *new* document is buffered or all
+    /// lists are exhausted.
+    fn pump(&mut self) {
+        while self.buffer.is_empty() && !self.exhausted() {
+            // Round-robin: find the next non-exhausted list.
+            let m = self.lists.len();
+            let mut picked = None;
+            for offset in 0..m {
+                let j = (self.next_list + offset) % m;
+                if self.cursors[j] < self.lists[j].len() {
+                    picked = Some(j);
+                    self.next_list = (j + 1) % m;
+                    break;
+                }
+            }
+            let Some(j) = picked else { return };
+            let posting = self.lists[j][self.cursors[j]];
+            self.cursors[j] += 1;
+            self.sorted_accesses += 1;
+            if self.seen.insert(posting.doc) {
+                // Random accesses for the other query terms (Eq. 3 total).
+                let mut total = posting.partial;
+                for (i, &t) in self.query.iter().enumerate() {
+                    if i != j {
+                        total += tfidf::partial_score(self.corpus, t, posting.doc);
+                        self.random_accesses += 1;
+                    }
+                }
+                self.buffer
+                    .push_back(Scored::new(posting.doc, Score::new(total)));
+            }
+        }
+    }
+
+    /// Sorted accesses performed so far.
+    pub fn sorted_accesses(&self) -> u64 {
+        self.sorted_accesses
+    }
+
+    /// Random accesses performed so far.
+    pub fn random_accesses(&self) -> u64 {
+        self.random_accesses
+    }
+}
+
+impl ResultSource for TaSource<'_> {
+    type Item = DocId;
+
+    fn next_result(&mut self) -> Option<Scored<DocId>> {
+        if self.buffer.is_empty() {
+            self.pump();
+        }
+        self.buffer.pop_front()
+    }
+
+    fn unseen_bound(&self) -> UnseenBound {
+        // The threshold bounds documents never touched; buffered documents
+        // have been scored but not yet returned, so the bound must cover
+        // them as well.
+        let mut bound = self.threshold();
+        for b in &self.buffer {
+            bound = bound.max(b.score.get());
+        }
+        UnseenBound::At(Score::new(bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut b = Corpus::builder();
+        b.add_text("d0", "apple banana apple");
+        b.add_text("d1", "apple cherry");
+        b.add_text("d2", "banana cherry banana");
+        b.add_text("d3", "durian fig");
+        b.add_text("d4", "apple banana cherry");
+        b.build()
+    }
+
+    /// Drains the source, checking the bound contract at every step.
+    fn drain_checked(mut src: TaSource<'_>) -> Vec<Scored<DocId>> {
+        let mut out = Vec::new();
+        loop {
+            let bound_before = match src.unseen_bound() {
+                UnseenBound::At(s) => s,
+                UnseenBound::Unbounded => Score::new(f64::INFINITY.min(f64::MAX)),
+            };
+            match src.next_result() {
+                Some(r) => {
+                    assert!(
+                        r.score.get() <= bound_before.get() + 1e-9,
+                        "emitted {} above bound {}",
+                        r.score,
+                        bound_before
+                    );
+                    out.push(r);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn emits_each_matching_doc_exactly_once_with_correct_scores() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let q = vec![c.term_id("apple").unwrap(), c.term_id("banana").unwrap()];
+        let src = TaSource::new(&c, &idx, &q);
+        let mut results = drain_checked(src);
+        results.sort_by_key(|r| r.item);
+        let docs: Vec<DocId> = results.iter().map(|r| r.item).collect();
+        assert_eq!(docs, vec![0, 1, 2, 4]); // d3 matches neither term
+        for r in &results {
+            let want = tfidf::score(&c, &q, r.item);
+            assert!(r.score.approx_eq(want, 1e-12), "doc {}", r.item);
+        }
+    }
+
+    #[test]
+    fn bound_is_nonincreasing_over_time() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let q = vec![
+            c.term_id("apple").unwrap(),
+            c.term_id("banana").unwrap(),
+            c.term_id("cherry").unwrap(),
+        ];
+        let mut src = TaSource::new(&c, &idx, &q);
+        let mut last = f64::INFINITY;
+        while src.next_result().is_some() {
+            let UnseenBound::At(b) = src.unseen_bound() else {
+                panic!("bound must be known after first access");
+            };
+            assert!(b.get() <= last + 1e-9);
+            last = b.get();
+        }
+    }
+
+    #[test]
+    fn duplicate_query_terms_are_collapsed() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let apple = c.term_id("apple").unwrap();
+        let src = TaSource::new(&c, &idx, &[apple, apple]);
+        let results = drain_checked(src);
+        assert_eq!(results.len(), 3); // d0, d1, d4
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let mut src = TaSource::new(&c, &idx, &[]);
+        assert!(src.next_result().is_none());
+    }
+
+    #[test]
+    fn access_counters_move() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let q = vec![c.term_id("apple").unwrap(), c.term_id("cherry").unwrap()];
+        let mut src = TaSource::new(&c, &idx, &q);
+        while src.next_result().is_some() {}
+        assert!(src.sorted_accesses() > 0);
+        assert!(src.random_accesses() > 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Tokenization: lowercase alphanumeric word splitting.
+//!
+//! The paper's evaluation indexes Wikipedia/Reuters text after stop-word
+//! removal (§8). We use the simplest robust scheme: maximal runs of ASCII
+//! alphanumeric characters, lowercased. Unicode letters are passed through
+//! `char::is_alphanumeric` so non-ASCII corpora still tokenize sanely.
+
+/// Splits `text` into lowercase alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Iterator flavour for pipelines that do not need a `Vec`.
+pub fn tokens(text: &str) -> impl Iterator<Item = String> + '_ {
+    // Implemented over the eager version for simplicity; the corpus
+    // builder dominates cost elsewhere (hashing), measured in benches.
+    tokenize(text).into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumerics() {
+        assert_eq!(
+            tokenize("Hello, world! 42 times."),
+            vec!["hello", "world", "42", "times"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("RuSt RUST rust"), vec!["rust", "rust", "rust"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!... --- ###").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(tokenize("Köln café №5"), vec!["köln", "café", "5"]);
+    }
+
+    #[test]
+    fn no_empty_tokens() {
+        assert!(tokenize("a  b\t\nc").iter().all(|t| !t.is_empty()));
+    }
+}

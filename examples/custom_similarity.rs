@@ -1,0 +1,74 @@
+//! Diversified top-k beyond text: an e-commerce catalog.
+//!
+//! The framework's only domain hook is the similarity predicate (§2's
+//! single assumption). Here products are feature vectors and two products
+//! are "similar" when their cosine similarity exceeds τ — a shopper asking
+//! for "running shoes" should see different brands/styles, not ten
+//! colorways of one model. Results arrive from a bounding source (think: a
+//! distributed store returning batches with a score watermark).
+//!
+//! Run with: `cargo run --example custom_similarity`
+
+use divtopk::*;
+
+#[derive(Debug, Clone)]
+struct Product {
+    name: &'static str,
+    /// (brand_hash, style, cushioning, weight, price_bucket) — normalized.
+    features: [f64; 5],
+}
+
+fn cosine(a: &[f64; 5], b: &[f64; 5]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn main() {
+    // Relevance scores from the (fictional) ranking service; the three
+    // "Aero" items are colorways of one shoe and nearly identical vectors.
+    let catalog = vec![
+        Scored::new(Product { name: "Aero Glide (blue)", features: [0.9, 0.8, 0.7, 0.3, 0.5] }, Score::new(9.7)),
+        Scored::new(Product { name: "Aero Glide (red)", features: [0.9, 0.8, 0.7, 0.3, 0.5] }, Score::new(9.6)),
+        Scored::new(Product { name: "Aero Glide (black)", features: [0.9, 0.79, 0.71, 0.3, 0.5] }, Score::new(9.5)),
+        Scored::new(Product { name: "TrailBeast 2", features: [0.2, 0.1, 0.9, 0.8, 0.4] }, Score::new(8.9)),
+        Scored::new(Product { name: "CityPacer", features: [0.5, 0.9, 0.2, 0.1, 0.9] }, Score::new(8.4)),
+        Scored::new(Product { name: "Marathon Pro", features: [0.1, 0.7, 0.8, 0.2, 0.1] }, Score::new(8.0)),
+        Scored::new(Product { name: "TrailBeast 2 GTX", features: [0.2, 0.12, 0.9, 0.82, 0.45] }, Score::new(7.8)),
+        Scored::new(Product { name: "Budget Runner", features: [0.4, 0.4, 0.3, 0.4, 1.0] }, Score::new(6.2)),
+    ];
+
+    let tau = 0.97;
+    let similarity =
+        ThresholdSimilarity::new(|a: &Product, b: &Product| cosine(&a.features, &b.features), tau);
+
+    println!("plain top-4 (redundant):");
+    for r in catalog.iter().take(4) {
+        println!("  {:<20} {}", r.item.name, r.score);
+    }
+
+    let source = BoundingVecSource::new(catalog);
+    let out = DivTopK::new(source, similarity, DivSearchConfig::new(4))
+        .run()
+        .expect("unbudgeted run");
+
+    println!("\ndiversified top-4 (cosine τ = {tau}):");
+    for r in &out.selected {
+        println!("  {:<20} {}", r.item.name, r.score);
+    }
+    println!(
+        "total score {} after examining {} products",
+        out.total_score, out.metrics.results_generated
+    );
+
+    // Exactly one Aero colorway and one TrailBeast variant may appear.
+    let aeros = out.selected.iter().filter(|r| r.item.name.starts_with("Aero")).count();
+    let beasts = out.selected.iter().filter(|r| r.item.name.starts_with("TrailBeast")).count();
+    assert_eq!(aeros, 1, "colorways are near-duplicates");
+    assert_eq!(beasts, 1, "GTX variant is a near-duplicate");
+}

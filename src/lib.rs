@@ -1,0 +1,9 @@
+//! # divtopk — diversified top-k search (facade crate)
+//!
+//! Re-exports [`divtopk_core`] (the algorithms and framework) and
+//! [`divtopk_text`] (the text-search evaluation substrate).
+
+pub use divtopk_core as core;
+pub use divtopk_text as text;
+
+pub use divtopk_core::prelude::*;

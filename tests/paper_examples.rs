@@ -1,0 +1,104 @@
+//! Integration tests pinning every worked example in the paper.
+//!
+//! * Fig. 1 / Examples 1–2 — the 6-node running example (k = 2 and 3).
+//! * Fig. 2 — the greedy worst case (greedy 199 vs optimal 9,900).
+//! * Fig. 6/7 / Example 3 — the two-component ⊕ combination.
+//! * Figs. 8–11 / Examples 4–5 — compression + cptree (checked in
+//!   `divtopk-core`'s unit tests; here we re-verify the final answer
+//!   through every public entry point).
+
+use divtopk::core::exhaustive::exhaustive;
+use divtopk::*;
+
+fn s(v: u32) -> Score {
+    Score::from(v)
+}
+
+#[test]
+fn fig1_example1_all_algorithms() {
+    let g = DiversityGraph::paper_fig1();
+    for k in [2usize, 3] {
+        let want = if k == 2 { s(18) } else { s(20) };
+        assert_eq!(div_astar(&g, k).best().score(), want, "astar k={k}");
+        assert_eq!(div_dp(&g, k).best().score(), want, "dp k={k}");
+        assert_eq!(div_cut(&g, k).best().score(), want, "cut k={k}");
+        assert_eq!(exhaustive(&g, k).best().score(), want, "oracle k={k}");
+    }
+    // Example 1's witnesses.
+    assert_eq!(div_astar(&g, 2).best().nodes(), &[0, 1]); // {v1, v2}
+    assert_eq!(div_astar(&g, 3).best().nodes(), &[2, 3, 4]); // {v3, v4, v5}
+}
+
+#[test]
+fn fig2_greedy_vs_optimal() {
+    use divtopk::core::testgen::star_chain;
+    let g = star_chain(100);
+    assert_eq!(g.len(), 201);
+    assert_eq!(g.edge_count(), 200);
+
+    let (_, greedy_score) = greedy(&g, 100);
+    assert_eq!(greedy_score, s(199), "greedy picks the hub plus 99 leaves");
+
+    let exact = div_cut(&g, 100).best().score();
+    assert_eq!(exact, s(9900), "the optimum takes all 100 middles");
+
+    // "nearly 50 times" (the paper's phrasing).
+    let ratio = exact.get() / greedy_score.get();
+    assert!(ratio > 49.0 && ratio < 50.0, "ratio {ratio}");
+}
+
+#[test]
+fn fig2_family_scales() {
+    use divtopk::core::testgen::star_chain;
+    for m in [5usize, 20, 50] {
+        let g = star_chain(m);
+        let (_, greedy_score) = greedy(&g, m);
+        assert_eq!(greedy_score, Score::from(100 + m as u32 - 1));
+        let exact = div_cut(&g, m).best().score();
+        assert_eq!(exact, Score::from(99 * m as u32));
+    }
+}
+
+#[test]
+fn example3_dp_combination_scores() {
+    // Fig. 6's two components assembled in one graph; combined per-size
+    // table from Fig. 7: 10, 20, 28, 36, 40.
+    let scores = [
+        s(10), s(8), s(7), s(7), s(6), s(1), // v1..v6 (Fig. 1 = G1)
+        s(10), s(9), s(8), s(7), s(6), // u1..u5 (G2)
+    ];
+    let edges = [
+        (0u32, 2u32), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (3, 5), (4, 5),
+        (6, 7), (6, 9), (6, 10), (7, 8), (8, 9), (8, 10),
+    ];
+    let (g, _) = DiversityGraph::from_unsorted_scores(&scores, &edges);
+    for result in [div_dp(&g, 5), div_cut(&g, 5), div_astar(&g, 5)] {
+        assert_eq!(result.prefix_best_score(1), s(10));
+        assert_eq!(result.prefix_best_score(2), s(20));
+        assert_eq!(result.prefix_best_score(3), s(28));
+        assert_eq!(result.prefix_best_score(4), s(36));
+        assert_eq!(result.prefix_best_score(5), s(40));
+    }
+}
+
+#[test]
+fn google_apple_anecdote() {
+    // §1's motivating example: 7 of the top-10 image results are the same
+    // logo. Model: 7 near-identical "logo" results outrank 5 distinct ones;
+    // the diversified top-10 keeps one logo and every distinct result.
+    let mut items: Vec<Scored<(u32, &str)>> = (0..7)
+        .map(|i| Scored::new((i, "logo"), Score::new(10.0 - i as f64 * 0.1)))
+        .collect();
+    for (i, kind) in ["pie", "orchard", "store", "ceo", "harvest"].iter().enumerate() {
+        items.push(Scored::new((7 + i as u32, kind), Score::new(5.0 - i as f64 * 0.1)));
+    }
+    let source = IncrementalVecSource::new(items);
+    let similar = |a: &(u32, &str), b: &(u32, &str)| a.1 == b.1;
+    let out = DivTopK::new(source, similar, DivSearchConfig::new(10))
+        .run()
+        .unwrap();
+    assert_eq!(out.selected.len(), 6); // 1 logo + 5 distinct
+    assert_eq!(out.selected.iter().filter(|r| r.item.1 == "logo").count(), 1);
+    // The kept logo is the best-scored one.
+    assert_eq!(out.selected[0].item, (0, "logo"));
+}

@@ -1,0 +1,267 @@
+//! Property-based tests (proptest) on the library's core invariants.
+
+use divtopk::core::exhaustive::exhaustive;
+use divtopk::core::ops::{combine_alternative, combine_disjoint};
+use divtopk::core::{compress::compress, components::connected_components};
+use divtopk::text::prelude::*;
+use divtopk::*;
+use proptest::prelude::*;
+
+// ---------- strategies ----------
+
+/// A random diversity graph: n nodes, integer scores, edge probability p.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = DiversityGraph> {
+    (1..=max_n, 0u64..1_000_000, 0.0f64..0.9).prop_map(|(n, seed, p)| {
+        let mut rng = divtopk::core::rng::Pcg::new(seed);
+        let mut scores: Vec<Score> = (0..n).map(|_| Score::from(rng.range(1, 500))).collect();
+        scores.sort_by(|a, b| b.cmp(a));
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.chance(p) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        DiversityGraph::from_sorted_scores(scores, &edges)
+    })
+}
+
+/// A random per-size solution table over disjoint node-id ranges
+/// (nodes `base..base+len` guaranteed independent: synthetic).
+fn table_strategy(k: usize, base: u32) -> impl Strategy<Value = SearchResult> {
+    proptest::collection::vec((1u32..400, 0u8..2), k).prop_map(move |entries| {
+        let mut t = SearchResult::empty(k);
+        let mut nodes: Vec<u32> = Vec::new();
+        let mut score = Score::ZERO;
+        for (i, (sc, present)) in entries.into_iter().enumerate() {
+            nodes.push(base + i as u32);
+            score += Score::from(sc);
+            if present == 1 {
+                t.offer(nodes.clone(), score);
+            }
+        }
+        t
+    })
+}
+
+// ---------- algorithm correctness ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn algorithms_match_oracle(g in graph_strategy(12), k in 1usize..12) {
+        let want = exhaustive(&g, k);
+        for (name, got) in [
+            ("astar", div_astar(&g, k)),
+            ("dp", div_dp(&g, k)),
+            ("cut", div_cut(&g, k)),
+        ] {
+            got.assert_well_formed(Some(&g));
+            for i in 0..=k {
+                prop_assert_eq!(
+                    got.prefix_best_score(i),
+                    want.prefix_best_score(i),
+                    "{} at size {}", name, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solutions_are_independent_sets(g in graph_strategy(14), k in 1usize..10) {
+        let r = div_cut(&g, k);
+        for (_, sol) in r.iter() {
+            prop_assert!(g.is_independent_set(&sol.nodes()));
+            prop_assert!(g.score_of(&sol.nodes()).approx_eq(sol.score(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_exact(g in graph_strategy(14), k in 1usize..10) {
+        let (_, greedy_score) = greedy(&g, k);
+        let exact = div_astar(&g, k).best().score();
+        prop_assert!(greedy_score <= exact);
+    }
+
+    #[test]
+    fn compression_preserves_prefix_optima(g in graph_strategy(12), k in 1usize..8) {
+        let kept = compress(&g);
+        let (cg, map) = g.induced_subgraph(&kept);
+        let want = exhaustive(&g, k);
+        let got = exhaustive(&cg, k).map_nodes(&map);
+        for i in 0..=k {
+            prop_assert_eq!(got.prefix_best_score(i), want.prefix_best_score(i));
+        }
+        // And compressed solutions remain valid in the original graph.
+        for (_, sol) in got.iter() {
+            prop_assert!(g.is_independent_set(&sol.nodes()));
+        }
+    }
+
+    #[test]
+    fn components_partition_the_graph(g in graph_strategy(20)) {
+        let comps = connected_components(&g);
+        let mut seen = vec![false; g.len()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v as usize], "node in two components");
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // No edge crosses components.
+        for comp in &comps {
+            let set: std::collections::HashSet<_> = comp.iter().copied().collect();
+            for &v in comp {
+                for &nb in g.neighbors(v) {
+                    prop_assert!(set.contains(&nb));
+                }
+            }
+        }
+    }
+}
+
+// ---------- operator laws ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plus_is_commutative(a in table_strategy(6, 0), b in table_strategy(6, 100)) {
+        let ab = combine_disjoint(&a, &b);
+        let ba = combine_disjoint(&b, &a);
+        for i in 0..=6 {
+            prop_assert_eq!(ab.score(i), ba.score(i), "size {}", i);
+        }
+    }
+
+    #[test]
+    fn plus_is_associative(
+        a in table_strategy(5, 0),
+        b in table_strategy(5, 100),
+        c in table_strategy(5, 200),
+    ) {
+        let l = combine_disjoint(&combine_disjoint(&a, &b), &c);
+        let r = combine_disjoint(&a, &combine_disjoint(&b, &c));
+        for i in 0..=5 {
+            prop_assert_eq!(l.score(i), r.score(i), "size {}", i);
+        }
+    }
+
+    #[test]
+    fn otimes_is_commutative_and_associative(
+        a in table_strategy(5, 0),
+        b in table_strategy(5, 0),
+        c in table_strategy(5, 0),
+    ) {
+        let ab = combine_alternative(&a, &b);
+        let ba = combine_alternative(&b, &a);
+        for i in 0..=5 {
+            prop_assert_eq!(ab.score(i), ba.score(i));
+        }
+        let l = combine_alternative(&combine_alternative(&a, &b), &c);
+        let r = combine_alternative(&a, &combine_alternative(&b, &c));
+        for i in 0..=5 {
+            prop_assert_eq!(l.score(i), r.score(i));
+        }
+    }
+
+    #[test]
+    fn plus_identity_is_empty_table(a in table_strategy(6, 0)) {
+        let id = SearchResult::empty(6);
+        let out = combine_disjoint(&a, &id);
+        for i in 0..=6 {
+            prop_assert_eq!(out.score(i), a.score(i));
+        }
+    }
+}
+
+// ---------- framework soundness ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The streaming engine with early stopping returns the same optimum as
+    /// offline materialization, for random cluster-similarity streams.
+    #[test]
+    fn early_stop_is_sound(
+        seed in 0u64..10_000,
+        n in 1usize..40,
+        clusters in 1u32..8,
+        k in 1usize..6,
+    ) {
+        let mut rng = divtopk::core::rng::Pcg::new(seed);
+        let items: Vec<Scored<(u32, u32)>> = (0..n as u32)
+            .map(|i| Scored::new((i, rng.below(clusters)), Score::from(rng.range(1, 1000))))
+            .collect();
+        let similar = |a: &(u32, u32), b: &(u32, u32)| a.1 == b.1;
+
+        let (graph, _) = DiversityGraph::from_items(&items, |r| r.score, |a, b| similar(&a.item, &b.item));
+        let want = exhaustive(&graph, k).best().score();
+
+        // Incremental flavour.
+        let inc = DivTopK::new(
+            IncrementalVecSource::from_unsorted(items.clone()),
+            similar,
+            DivSearchConfig::new(k),
+        ).run().unwrap();
+        prop_assert_eq!(inc.total_score, want);
+
+        // Bounding flavour (stream order = arrival order).
+        let bnd = DivTopK::new(
+            BoundingVecSource::new(items),
+            similar,
+            DivSearchConfig::new(k),
+        ).run().unwrap();
+        prop_assert_eq!(bnd.total_score, want);
+    }
+}
+
+// ---------- text substrate ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded(
+        a in proptest::collection::vec(0u32..50, 0..60),
+        b in proptest::collection::vec(0u32..50, 0..60),
+        w in proptest::collection::vec(0.0f64..5.0, 50),
+    ) {
+        let d1 = Document::from_tokens("a".into(), a);
+        let d2 = Document::from_tokens("b".into(), b);
+        let s12 = weighted_jaccard_with(&w, &d1, &d2);
+        let s21 = weighted_jaccard_with(&w, &d2, &d1);
+        prop_assert_eq!(s12, s21);
+        prop_assert!((0.0..=1.0).contains(&s12));
+        // Self-similarity is 1 unless the doc has zero total weight.
+        let s11 = weighted_jaccard_with(&w, &d1, &d1);
+        prop_assert!(s11 == 1.0 || s11 == 0.0);
+    }
+
+    #[test]
+    fn tokenizer_roundtrip_properties(text in ".{0,200}") {
+        let tokens = tokenize(&text);
+        for t in &tokens {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(t.clone(), t.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn document_signature_is_canonical(tokens in proptest::collection::vec(0u32..30, 0..80)) {
+        let total = tokens.len() as u32;
+        let d = Document::from_tokens("t".into(), tokens.clone());
+        prop_assert_eq!(d.len, total);
+        prop_assert!(d.terms.windows(2).all(|w| w[0].0 < w[1].0));
+        let sum: u32 = d.terms.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(sum, total);
+        for &(t, c) in &d.terms {
+            let direct = tokens.iter().filter(|&&x| x == t).count() as u32;
+            prop_assert_eq!(c, direct);
+        }
+    }
+}
