@@ -5,9 +5,9 @@
 //! * AB3 — the `necessary()` gate on/off in the framework
 //! * AB4 — A\* heap reuse across `k'` rounds on/off
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use divtopk_core::astar::{div_astar_configured, AStarConfig};
-use divtopk_core::cut::{div_cut_configured, ChildHeuristic, CutConfig, RootHeuristic};
+use criterion::{Criterion, criterion_group, criterion_main};
+use divtopk_core::astar::{AStarConfig, div_astar_configured};
+use divtopk_core::cut::{ChildHeuristic, CutConfig, RootHeuristic, div_cut_configured};
 use divtopk_core::prelude::*;
 use divtopk_core::testgen::{self, ClusterConfig};
 use std::hint::black_box;
@@ -35,9 +35,7 @@ fn ab1_compression(c: &mut Criterion) {
         };
         group.bench_function(label, |b| {
             b.iter(|| {
-                black_box(
-                    div_cut_configured(&g, 20, &config, &SearchLimits::unlimited()).unwrap(),
-                )
+                black_box(div_cut_configured(&g, 20, &config, &SearchLimits::unlimited()).unwrap())
             })
         });
     }
@@ -48,8 +46,16 @@ fn ab2_heuristics(c: &mut Criterion) {
     let g = graph();
     let mut group = c.benchmark_group("ab2_heuristics");
     let variants: [(&str, RootHeuristic, ChildHeuristic); 3] = [
-        ("paper(minmax+largest)", RootHeuristic::MinMaxComponent, ChildHeuristic::LargestEntryGraph),
-        ("pseudocode(smallest)", RootHeuristic::MinMaxComponent, ChildHeuristic::SmallestEntryGraph),
+        (
+            "paper(minmax+largest)",
+            RootHeuristic::MinMaxComponent,
+            ChildHeuristic::LargestEntryGraph,
+        ),
+        (
+            "pseudocode(smallest)",
+            RootHeuristic::MinMaxComponent,
+            ChildHeuristic::SmallestEntryGraph,
+        ),
         ("first", RootHeuristic::First, ChildHeuristic::First),
     ];
     for (label, root, child) in variants {
@@ -60,9 +66,7 @@ fn ab2_heuristics(c: &mut Criterion) {
         };
         group.bench_function(label, |b| {
             b.iter(|| {
-                black_box(
-                    div_cut_configured(&g, 20, &config, &SearchLimits::unlimited()).unwrap(),
-                )
+                black_box(div_cut_configured(&g, 20, &config, &SearchLimits::unlimited()).unwrap())
             })
         });
     }

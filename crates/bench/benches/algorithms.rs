@@ -1,7 +1,7 @@
 //! Micro-benchmarks: the three exact algorithms + greedy on the planted
 //! cluster family (the shape of real diversity graphs) and on paths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use divtopk_core::prelude::*;
 use divtopk_core::testgen::{self, ClusterConfig};
 use std::hint::black_box;

@@ -2,7 +2,7 @@
 //! similarity checks, gated inner searches, early stop) over both source
 //! kinds on a small synthetic corpus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{Criterion, criterion_group, criterion_main};
 use divtopk_core::ExactAlgorithm;
 use divtopk_text::prelude::*;
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the graph substrates: components, Tarjan cut
 //! points, Lemma 7 compression, and induced-subgraph extraction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use divtopk_core::components::connected_components;
 use divtopk_core::compress::compress;
 use divtopk_core::cutpoints::articulation_points;
@@ -28,7 +28,9 @@ fn bench_cutpoints(c: &mut Criterion) {
         });
     }
     let g = testgen::planted_clusters(&ClusterConfig::default(), 3);
-    group.bench_function("clusters", |b| b.iter(|| black_box(articulation_points(&g))));
+    group.bench_function("clusters", |b| {
+        b.iter(|| black_box(articulation_points(&g)))
+    });
     group.finish();
 }
 
@@ -51,5 +53,11 @@ fn bench_subgraph(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_components, bench_cutpoints, bench_compress, bench_subgraph);
+criterion_group!(
+    benches,
+    bench_components,
+    bench_cutpoints,
+    bench_compress,
+    bench_subgraph
+);
 criterion_main!(benches);

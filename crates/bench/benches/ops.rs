@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the `⊕` / `⊗` operators (Algorithms 5–6) across
 //! table sizes — the inner loop of `div-dp` and `div-cut`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use divtopk_core::ops::{combine_alternative, combine_disjoint, combine_disjoint_in_place};
 use divtopk_core::rng::Pcg;
 use divtopk_core::{Score, SearchResult};

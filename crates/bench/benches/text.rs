@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the text substrate: corpus generation, index
 //! build, the two result sources, and the similarity kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{Criterion, criterion_group, criterion_main};
 use divtopk_core::ResultSource;
 use divtopk_text::prelude::*;
 use std::hint::black_box;

@@ -19,7 +19,7 @@
 //! diversified search (counting allocator). `INF` marks runs that blew the
 //! time/byte budget — the analogue of the paper's 2 GB exhaustion.
 
-use divtopk_bench::{measure, print_table, Measurement, PeakAlloc};
+use divtopk_bench::{Measurement, PeakAlloc, measure, print_table};
 use divtopk_core::prelude::*;
 use divtopk_core::testgen;
 use divtopk_text::prelude::*;
@@ -86,7 +86,11 @@ impl Datasets {
             };
             let docs = ((base.num_docs as f64 * ctx.scale) as usize).max(500);
             let config = base.with_num_docs(docs);
-            eprintln!("[setup] generating {} corpus ({} docs)…", which.name(), docs);
+            eprintln!(
+                "[setup] generating {} corpus ({} docs)…",
+                which.name(),
+                docs
+            );
             let t = std::time::Instant::now();
             let corpus = generate(&config);
             let index = InvertedIndex::build(&corpus);
@@ -232,8 +236,18 @@ fn sweep<X: std::fmt::Display + Copy>(
         mem_rows.push((format!("{x}"), mems));
     }
     let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
-    print_table(&format!("{title} — processing time (s)"), x_label, &names, &time_rows);
-    print_table(&format!("{title} — peak memory"), x_label, &names, &mem_rows);
+    print_table(
+        &format!("{title} — processing time (s)"),
+        x_label,
+        &names,
+        &time_rows,
+    );
+    print_table(
+        &format!("{title} — peak memory"),
+        x_label,
+        &names,
+        &mem_rows,
+    );
 }
 
 /// Fig. 2: greedy quality collapse on the star-chain family (+ AB5 sweep).
@@ -394,7 +408,7 @@ fn vary_kfreq(ds: &mut Datasets, which: Dataset, ctx: &Ctx, fig: &str) {
 /// the paper's objective (total score under the pairwise-τ constraint).
 fn quality(ds: &mut Datasets, ctx: &Ctx) {
     use divtopk_core::{ResultSource, Scored};
-    use divtopk_text::mmr::{mmr_documents, MmrConfig};
+    use divtopk_text::mmr::{MmrConfig, mmr_documents};
     use divtopk_text::quality::{redundancy, total_score};
 
     println!("\n## Quality — exact vs greedy vs MMR (AB5)");
@@ -459,9 +473,17 @@ fn quality(ds: &mut Datasets, ctx: &Ctx) {
             ));
         }
         print_table(
-            &format!("{} quality at k = 20 (kfreq = {DEFAULT_KFREQ})", which.name()),
+            &format!(
+                "{} quality at k = 20 (kfreq = {DEFAULT_KFREQ})",
+                which.name()
+            ),
             "tau",
-            &["exact (score)", "greedy (score)", "MMR (score)", "MMR τ-violations"],
+            &[
+                "exact (score)",
+                "greedy (score)",
+                "MMR (score)",
+                "MMR τ-violations",
+            ],
             &rows,
         );
     }
@@ -483,14 +505,23 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                ctx.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                ctx.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--budget" => {
-                let secs: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 ctx.budget = Duration::from_secs(secs);
             }
             "--decay" => {
-                ctx.decay = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                ctx.decay = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             other if other.starts_with("--") => usage(),
             exp => exps.push(exp.to_string()),
@@ -503,13 +534,20 @@ fn main() {
         // A fast smoke configuration for CI / development.
         ctx.scale = ctx.scale.min(0.1);
         ctx.budget = Duration::from_secs(3);
-        exps = vec!["fig2".into(), "fig12".into(), "fig13".into(), "fig16".into()];
+        exps = vec![
+            "fig2".into(),
+            "fig12".into(),
+            "fig13".into(),
+            "fig16".into(),
+        ];
     }
     if exps.iter().any(|e| e == "all") {
-        exps = ["fig2", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        exps = [
+            "fig2", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     println!(

@@ -233,14 +233,30 @@ pub(crate) fn div_astar_ledger(
             if k_prime < k_cap {
                 rebound_heap(g, &mut scratch, &mut heap, k_prime);
             }
-            astar_search(g, &mut scratch, &mut heap, &mut result, k_prime, ledger, metrics)?;
+            astar_search(
+                g,
+                &mut scratch,
+                &mut heap,
+                &mut result,
+                k_prime,
+                ledger,
+                metrics,
+            )?;
         }
     } else {
         // Ablation AB4: fresh search per k'.
         for k_prime in (1..=k_cap).rev() {
             let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
             push_root(g, &mut scratch, &mut heap, k_prime, ledger, metrics)?;
-            astar_search(g, &mut scratch, &mut heap, &mut result, k_prime, ledger, metrics)?;
+            astar_search(
+                g,
+                &mut scratch,
+                &mut heap,
+                &mut result,
+                k_prime,
+                ledger,
+                metrics,
+            )?;
         }
     }
     Ok(result)

@@ -19,7 +19,7 @@
 //! cache_components` switches it on, and equality with the uncached path is
 //! property-tested.
 
-use crate::cut::{div_cut_ledger, CutConfig};
+use crate::cut::{CutConfig, div_cut_ledger};
 use crate::error::SearchError;
 use crate::graph::DiversityGraph;
 use crate::limits::SearchLimits;
@@ -200,10 +200,7 @@ impl ComponentCache {
         let (graph, perm) = DiversityGraph::from_unsorted_scores(&scores, &edges);
         let local_table = div_cut_ledger(&graph, k, config, ledger, metrics, 0)?;
         // graph ids → local ids → arrival ids.
-        let to_arrival: Vec<u32> = perm
-            .iter()
-            .map(|&local| members[local as usize])
-            .collect();
+        let to_arrival: Vec<u32> = perm.iter().map(|&local| members[local as usize]).collect();
         Ok(local_table.map_nodes(&to_arrival))
     }
 }
@@ -240,8 +237,7 @@ mod tests {
             let k = 1 + rng.below(5) as usize;
             for i in 0..18u32 {
                 let score = s(rng.range(1, 500));
-                let neighbors: Vec<u32> =
-                    (0..i).filter(|_| rng.chance(0.15)).collect();
+                let neighbors: Vec<u32> = (0..i).filter(|_| rng.chance(0.15)).collect();
                 for &nb in &neighbors {
                     all_edges.push((nb, i));
                 }
@@ -274,7 +270,12 @@ mod tests {
         cache.add_result(s(7), &[2]);
         let mut m1 = SearchMetrics::default();
         cache
-            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m1)
+            .search(
+                2,
+                &CutConfig::default(),
+                &SearchLimits::unlimited(),
+                &mut m1,
+            )
             .unwrap();
         let calls_first = m1.astar_calls;
         assert!(calls_first >= 2);
@@ -283,7 +284,12 @@ mod tests {
         cache.add_result(s(1), &[]);
         let mut m2 = SearchMetrics::default();
         let got = cache
-            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m2)
+            .search(
+                2,
+                &CutConfig::default(),
+                &SearchLimits::unlimited(),
+                &mut m2,
+            )
             .unwrap();
         assert_eq!(got.best().score(), s(18)); // 10 + 8
         assert!(
@@ -308,7 +314,12 @@ mod tests {
         cache.add_result(s(5), &[0, 1]);
         let mut m2 = SearchMetrics::default();
         let got = cache
-            .search(2, &CutConfig::default(), &SearchLimits::unlimited(), &mut m2)
+            .search(
+                2,
+                &CutConfig::default(),
+                &SearchLimits::unlimited(),
+                &mut m2,
+            )
             .unwrap();
         assert_eq!(got.best().score(), s(18)); // 10 + 8 still independent
         // The merged component must be re-solved (compression may reduce
@@ -346,8 +357,10 @@ mod tests {
             max_expansions: Some(1),
             ..SearchLimits::default()
         };
-        assert!(cache
-            .search(10, &CutConfig::default(), &limits, &mut m)
-            .is_err());
+        assert!(
+            cache
+                .search(10, &CutConfig::default(), &limits, &mut m)
+                .is_err()
+        );
     }
 }

@@ -24,7 +24,7 @@
 //! forbids the `both-included` case for adjacent cut points
 //! (Algorithm 10 lines 10–11).
 
-use crate::astar::{div_astar_ledger, AStarConfig};
+use crate::astar::{AStarConfig, div_astar_ledger};
 use crate::components::connected_components;
 use crate::compress::compress;
 use crate::cutpoints::articulation_points;
@@ -103,18 +103,26 @@ pub(crate) struct CpNode {
 }
 
 /// Exact diversified top-k via cut-point decomposition, no limits.
+///
+/// ```
+/// use divtopk_core::prelude::*;
+///
+/// // A path v0—v1—v2 with scores 10, 9, 1. v1 is a cut point; the best
+/// // independent pair is {v0, v2} even though {v0, v1} scores higher
+/// // before feasibility.
+/// let g = DiversityGraph::from_sorted_scores(
+///     vec![Score::new(10.0), Score::new(9.0), Score::new(1.0)],
+///     &[(0, 1), (1, 2)],
+/// );
+/// let result = div_cut(&g, 2);
+/// assert_eq!(result.best().score(), Score::new(11.0));
+/// assert_eq!(result.best().nodes(), vec![0, 2]);
+/// ```
 pub fn div_cut(g: &DiversityGraph, k: usize) -> SearchResult {
     let mut metrics = SearchMetrics::default();
     let mut ledger = SearchLimits::unlimited().start();
-    div_cut_ledger(
-        g,
-        k,
-        &CutConfig::default(),
-        &mut ledger,
-        &mut metrics,
-        0,
-    )
-    .expect("unlimited search cannot exhaust budgets")
+    div_cut_ledger(g, k, &CutConfig::default(), &mut ledger, &mut metrics, 0)
+        .expect("unlimited search cannot exhaust budgets")
 }
 
 /// Exact diversified top-k via cut-point decomposition under budgets.
@@ -497,10 +505,7 @@ fn cp_search(
                 for child_include in [false, true] {
                     // Both cut points included but adjacent → infeasible
                     // (lines 10–11).
-                    if child_include
-                        && include
-                        && g.are_adjacent(node.cut_point, child.cut_point)
-                    {
+                    if child_include && include && g.are_adjacent(node.cut_point, child.cut_point) {
                         break;
                     }
                     if child_include {
@@ -516,10 +521,8 @@ fn cp_search(
                         metrics,
                         depth,
                     )?;
-                    let branch = combine_disjoint(
-                        &child_results[usize::from(child_include)],
-                        &entry,
-                    );
+                    let branch =
+                        combine_disjoint(&child_results[usize::from(child_include)], &entry);
                     metrics.plus_ops += 1;
                     alt = Some(match alt {
                         None => branch,
@@ -826,7 +829,11 @@ mod tests {
             let got = div_cut(&g, n);
             let want = exhaustive(&g, n);
             for i in 0..=n {
-                assert_eq!(got.prefix_best_score(i), want.prefix_best_score(i), "path n={n} i={i}");
+                assert_eq!(
+                    got.prefix_best_score(i),
+                    want.prefix_best_score(i),
+                    "path n={n} i={i}"
+                );
             }
         }
         let g = testgen::star_chain(12);
@@ -838,8 +845,14 @@ mod tests {
     #[test]
     fn all_heuristic_combinations_are_exact() {
         let heuristics = [
-            (RootHeuristic::MinMaxComponent, ChildHeuristic::LargestEntryGraph),
-            (RootHeuristic::MinMaxComponent, ChildHeuristic::SmallestEntryGraph),
+            (
+                RootHeuristic::MinMaxComponent,
+                ChildHeuristic::LargestEntryGraph,
+            ),
+            (
+                RootHeuristic::MinMaxComponent,
+                ChildHeuristic::SmallestEntryGraph,
+            ),
             (RootHeuristic::First, ChildHeuristic::First),
             (RootHeuristic::First, ChildHeuristic::LargestEntryGraph),
         ];
@@ -928,10 +941,13 @@ mod tests {
             compress: false,
             ..CutConfig::default()
         };
-        let (r, m) =
-            div_cut_configured(&cg, 5, &config, &SearchLimits::unlimited()).unwrap();
+        let (r, m) = div_cut_configured(&cg, 5, &config, &SearchLimits::unlimited()).unwrap();
         assert_eq!(r.prefix_best_score(5), s(40));
-        assert!(m.cptree_nodes >= 3, "w2, w4, w5 at least; got {}", m.cptree_nodes);
+        assert!(
+            m.cptree_nodes >= 3,
+            "w2, w4, w5 at least; got {}",
+            m.cptree_nodes
+        );
     }
 
     #[test]
@@ -941,7 +957,11 @@ mod tests {
         let got = div_cut(&g, 20);
         let want = crate::dp::div_dp(&g, 20);
         for i in 0..=20 {
-            assert_eq!(got.prefix_best_score(i), want.prefix_best_score(i), "size {i}");
+            assert_eq!(
+                got.prefix_best_score(i),
+                want.prefix_best_score(i),
+                "size {i}"
+            );
         }
     }
 }

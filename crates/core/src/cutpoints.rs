@@ -144,15 +144,15 @@ mod tests {
     fn matches_brute_force_on_random_graphs() {
         for seed in 0..30 {
             let g = testgen::random_graph(14, 0.18, seed);
-            assert_eq!(
-                articulation_points(&g),
-                brute_force(&g),
-                "seed {seed}"
-            );
+            assert_eq!(articulation_points(&g), brute_force(&g), "seed {seed}");
         }
         for seed in 0..10 {
             let g = testgen::planted_clusters(&testgen::ClusterConfig::default(), seed);
-            assert_eq!(articulation_points(&g), brute_force(&g), "clusters seed {seed}");
+            assert_eq!(
+                articulation_points(&g),
+                brute_force(&g),
+                "clusters seed {seed}"
+            );
         }
     }
 

@@ -7,7 +7,7 @@
 //! associative, so fold order is free). The search space shrinks from
 //! exponential in `|V(G)|` to exponential in the largest component.
 
-use crate::astar::{div_astar_ledger, AStarConfig};
+use crate::astar::{AStarConfig, div_astar_ledger};
 use crate::components::connected_components;
 use crate::error::SearchError;
 use crate::graph::DiversityGraph;

@@ -11,7 +11,10 @@ pub enum SearchError {
     ResourceExhausted(ExhaustedResource),
     /// The requested `k` is invalid for this operation (e.g. `k == 0` where
     /// a non-empty result is required).
-    InvalidK { k: usize },
+    InvalidK {
+        /// The rejected `k` value as supplied by the caller.
+        k: usize,
+    },
 }
 
 /// Which budget from [`crate::limits::SearchLimits`] ran out.

@@ -93,10 +93,8 @@ mod tests {
     #[test]
     fn infeasible_sizes_stay_empty() {
         // Triangle: max independent set has 1 node.
-        let g = DiversityGraph::from_sorted_scores(
-            vec![s(3), s(2), s(1)],
-            &[(0, 1), (0, 2), (1, 2)],
-        );
+        let g =
+            DiversityGraph::from_sorted_scores(vec![s(3), s(2), s(1)], &[(0, 1), (0, 2), (1, 2)]);
         let r = exhaustive(&g, 3);
         assert_eq!(r.score(1), Some(s(3)));
         assert_eq!(r.score(2), None);

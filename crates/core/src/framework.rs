@@ -17,9 +17,9 @@
 //! bound is clamped to be non-increasing (Lemma 2 assumes the source
 //! behaves; we do not trust it).
 
-use crate::astar::div_astar_ledger;
 use crate::astar::AStarConfig;
-use crate::cut::{div_cut_ledger, CutConfig};
+use crate::astar::div_astar_ledger;
+use crate::cut::{CutConfig, div_cut_ledger};
 use crate::dp::div_dp_ledger;
 use crate::error::SearchError;
 use crate::graph::DiversityGraph;
@@ -164,6 +164,30 @@ pub struct DivSearchOutput<T> {
 }
 
 /// The `div-search` engine: a source + a similarity predicate + a config.
+///
+/// ```
+/// use divtopk_core::prelude::*;
+///
+/// // A bounding source: results arrive in arbitrary order and the source
+/// // reports an upper bound on unseen scores, so the engine can stop
+/// // before draining the stream. Two items are similar iff same category.
+/// let items = vec![
+///     Scored::new(("a", 0u8), Score::new(9.0)),
+///     Scored::new(("b", 0u8), Score::new(8.5)),
+///     Scored::new(("c", 1u8), Score::new(7.0)),
+///     Scored::new(("d", 2u8), Score::new(3.0)),
+/// ];
+/// let out = DivTopK::new(
+///     BoundingVecSource::new(items),
+///     |a: &(&str, u8), b: &(&str, u8)| a.1 == b.1,
+///     DivSearchConfig::new(2),
+/// )
+/// .run()
+/// .unwrap();
+/// // One of the two category-0 near-duplicates plus "c".
+/// assert_eq!(out.total_score, Score::new(16.0));
+/// assert_eq!(out.selected.len(), 2);
+/// ```
 pub struct DivTopK<S: ResultSource, M> {
     source: S,
     similarity: M,
@@ -309,9 +333,9 @@ where
                 // what remains of it.
                 let mut limits = self.config.limits.clone();
                 if let Some(total) = total_budget {
-                    let remaining = total.checked_sub(run_start.elapsed()).ok_or(
-                        SearchError::ResourceExhausted(ExhaustedResource::Deadline),
-                    )?;
+                    let remaining = total
+                        .checked_sub(run_start.elapsed())
+                        .ok_or(SearchError::ResourceExhausted(ExhaustedResource::Deadline))?;
                     limits.time_budget = Some(remaining);
                 }
                 let mapped = if let Some(cache) = cache.as_mut() {
@@ -433,11 +457,8 @@ mod tests {
 
     /// Offline reference: build the full graph over all items and solve.
     fn offline_optimum(items: &[Scored<(u32, u32)>], k: usize) -> Score {
-        let (graph, _) = DiversityGraph::from_items(
-            items,
-            |r| r.score,
-            |a, b| same_cluster(&a.item, &b.item),
-        );
+        let (graph, _) =
+            DiversityGraph::from_items(items, |r| r.score, |a, b| same_cluster(&a.item, &b.item));
         exhaustive(&graph, k).best().score()
     }
 
@@ -465,7 +486,11 @@ mod tests {
             let items = make_items(seed, 18, 4);
             let want = offline_optimum(&items, 5);
             let source = BoundingVecSource::new(items);
-            for algorithm in [ExactAlgorithm::AStar, ExactAlgorithm::Dp, ExactAlgorithm::Cut] {
+            for algorithm in [
+                ExactAlgorithm::AStar,
+                ExactAlgorithm::Dp,
+                ExactAlgorithm::Cut,
+            ] {
                 let config = DivSearchConfig::new(5).with_algorithm(algorithm.clone());
                 let engine = DivTopK::new(source.clone(), same_cluster, config);
                 let out = engine.run().unwrap();
@@ -503,9 +528,8 @@ mod tests {
         // The first k results are all mutually similar: D(S) has one
         // element; dissimilar gold nuggets hide at lower scores. The stop
         // conditions must keep pulling until they are found.
-        let mut items: Vec<Scored<(u32, u32)>> = (0..10u32)
-            .map(|i| Scored::new((i, 0), s(50)))
-            .collect();
+        let mut items: Vec<Scored<(u32, u32)>> =
+            (0..10u32).map(|i| Scored::new((i, 0), s(50))).collect();
         items.push(Scored::new((10, 1), s(40)));
         items.push(Scored::new((11, 2), s(30)));
         let source = IncrementalVecSource::new(items);
@@ -562,8 +586,7 @@ mod tests {
             .unwrap();
             assert_eq!(cached_out.total_score, want_out.total_score, "seed {seed}");
             assert_eq!(
-                cached_out.metrics.results_generated,
-                want_out.metrics.results_generated,
+                cached_out.metrics.results_generated, want_out.metrics.results_generated,
                 "seed {seed}: stop point must be identical"
             );
             assert!(

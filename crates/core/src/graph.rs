@@ -40,7 +40,10 @@ impl DiversityGraph {
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut edge_count = 0usize;
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             assert_ne!(a, b, "self-loops are not allowed (sim(v,v)=1 is implicit)");
             adj[a as usize].push(b);
             adj[b as usize].push(a);
@@ -73,11 +76,7 @@ impl DiversityGraph {
     ) -> (DiversityGraph, Vec<u32>) {
         let n = scores.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by(|&a, &b| {
-            scores[b as usize]
-                .cmp(&scores[a as usize])
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b)));
         let mut rank = vec![0u32; n];
         for (new_id, &orig) in order.iter().enumerate() {
             rank[orig as usize] = new_id as u32;
@@ -196,7 +195,10 @@ impl DiversityGraph {
     pub fn induced_subgraph(&self, keep: &[NodeId]) -> (DiversityGraph, Vec<NodeId>) {
         let mut map: Vec<NodeId> = keep.to_vec();
         map.sort_unstable();
-        debug_assert!(map.windows(2).all(|w| w[0] != w[1]), "duplicate node in keep");
+        debug_assert!(
+            map.windows(2).all(|w| w[0] != w[1]),
+            "duplicate node in keep"
+        );
         let mut rank = vec![u32::MAX; self.len()];
         for (new_id, &old) in map.iter().enumerate() {
             rank[old as usize] = new_id as u32;
@@ -241,7 +243,10 @@ impl DiversityGraph {
         // is 9 = 8 + 1, so v2 is adjacent to v3, v4, v5 but not v6; v5's
         // bound is 6, so v5 is also adjacent to v6; v4's bound is 13 = 7 + 6
         // (v5 reachable, v6 not) so v4-v6 adjacent; v3's bound is 20 = 7+7+6.
-        let scores = vec![10, 8, 7, 7, 6, 1].into_iter().map(Score::from).collect();
+        let scores = vec![10, 8, 7, 7, 6, 1]
+            .into_iter()
+            .map(Score::from)
+            .collect();
         let edges = &[
             (0, 2),
             (0, 3),

@@ -53,6 +53,8 @@
 //! assert_eq!(out.total_score, Score::new(25.0));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod astar;
 pub mod component_cache;
 pub mod components;
@@ -78,21 +80,19 @@ pub mod testgen;
 
 /// One-stop imports for typical users of the crate.
 pub mod prelude {
-    pub use crate::astar::{div_astar, div_astar_configured, div_astar_limited, AStarConfig};
+    pub use crate::astar::{AStarConfig, div_astar, div_astar_configured, div_astar_limited};
     pub use crate::component_cache::ComponentCache;
     pub use crate::cut::{
-        div_cut, div_cut_configured, div_cut_limited, ChildHeuristic, CutConfig, RootHeuristic,
+        ChildHeuristic, CutConfig, RootHeuristic, div_cut, div_cut_configured, div_cut_limited,
     };
-    pub use crate::nodeset::NodeSet;
     pub use crate::dp::{div_dp, div_dp_limited};
     pub use crate::error::{ExhaustedResource, SearchError};
-    pub use crate::framework::{
-        DivSearchConfig, DivSearchOutput, DivTopK, ExactAlgorithm,
-    };
+    pub use crate::framework::{DivSearchConfig, DivSearchOutput, DivTopK, ExactAlgorithm};
     pub use crate::graph::{DiversityGraph, NodeId};
     pub use crate::greedy::{greedy, greedy_result};
     pub use crate::limits::SearchLimits;
     pub use crate::metrics::{FrameworkMetrics, SearchMetrics};
+    pub use crate::nodeset::NodeSet;
     pub use crate::score::Score;
     pub use crate::sim::{Similarity, ThresholdSimilarity};
     pub use crate::solution::{SearchResult, SizedSolution};

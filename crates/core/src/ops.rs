@@ -74,7 +74,9 @@ pub fn combine_disjoint_in_place(acc: &mut SearchResult, b: &SearchResult) {
             if j > i {
                 break; // pb ascending
             }
-            let Some(sa) = acc.solution(i - j) else { continue };
+            let Some(sa) = acc.solution(i - j) else {
+                continue;
+            };
             let sb = b.solution(j).expect("present");
             let score = sa.score() + sb.score();
             let improves_acc = score > acc.score_or_zero(i) || acc.solution(i).is_none();

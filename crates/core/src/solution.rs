@@ -192,13 +192,18 @@ impl SearchResult {
     /// solution exists. Used by the necessary stop condition (Lemma 3):
     /// this is the size of the maximum independent set when it is < k.
     pub fn max_feasible_size(&self) -> usize {
-        (1..=self.k).rev().find(|&i| self.entries[i].is_some()).unwrap_or(0)
+        (1..=self.k)
+            .rev()
+            .find(|&i| self.entries[i].is_some())
+            .unwrap_or(0)
     }
 
     /// Sizes with a present entry, ascending (used by `⊕` to iterate only
     /// populated combinations).
     pub fn present_sizes(&self) -> Vec<usize> {
-        (0..=self.k).filter(|&i| self.entries[i].is_some()).collect()
+        (0..=self.k)
+            .filter(|&i| self.entries[i].is_some())
+            .collect()
     }
 
     /// Remaps node ids through `map` (`map[local] = global`), e.g. when a
@@ -211,10 +216,7 @@ impl SearchResult {
             .iter()
             .map(|e| {
                 e.as_ref().map(|s| {
-                    SizedSolution::from_set(
-                        NodeSet::mapped(s.set(), Rc::clone(&shared)),
-                        s.score(),
-                    )
+                    SizedSolution::from_set(NodeSet::mapped(s.set(), Rc::clone(&shared)), s.score())
                 })
             })
             .collect();

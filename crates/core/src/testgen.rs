@@ -14,9 +14,7 @@ use crate::score::Score;
 /// Erdős–Rényi `G(n, p)` with scores drawn uniformly from `[1, 100]`.
 pub fn random_graph(n: usize, p: f64, seed: u64) -> DiversityGraph {
     let mut rng = Pcg::new(seed ^ 0xD1CE_0F12);
-    let mut scores: Vec<Score> = (0..n)
-        .map(|_| Score::from(rng.range(1, 101)))
-        .collect();
+    let mut scores: Vec<Score> = (0..n).map(|_| Score::from(rng.range(1, 101))).collect();
     scores.sort_by(|a, b| b.cmp(a));
     let mut edges = Vec::new();
     for i in 0..n as NodeId {
@@ -41,8 +39,8 @@ pub fn random_graph(n: usize, p: f64, seed: u64) -> DiversityGraph {
 pub fn star_chain(m: usize) -> DiversityGraph {
     let mut scores = Vec::with_capacity(2 * m + 1);
     scores.push(Score::from(100u32)); // A, node 0
-    scores.extend(std::iter::repeat(Score::from(99u32)).take(m)); // v_i, nodes 1..=m
-    scores.extend(std::iter::repeat(Score::from(1u32)).take(m)); // u_i, nodes m+1..=2m
+    scores.extend(std::iter::repeat_n(Score::from(99u32), m)); // v_i, nodes 1..=m
+    scores.extend(std::iter::repeat_n(Score::from(1u32), m)); // u_i, nodes m+1..=2m
     let mut edges = Vec::with_capacity(2 * m);
     for i in 1..=m as NodeId {
         edges.push((0, i)); // A - v_i
@@ -85,9 +83,7 @@ pub fn planted_clusters(config: &ClusterConfig, seed: u64) -> DiversityGraph {
     let n = config.clusters * config.cluster_size + config.bridges + config.singletons;
     // Integer-valued scores keep cross-algorithm comparisons exact (no
     // float summation-order drift between ⊕ fold orders).
-    let mut scores: Vec<Score> = (0..n)
-        .map(|_| Score::from(rng.range(1, 10_000)))
-        .collect();
+    let mut scores: Vec<Score> = (0..n).map(|_| Score::from(rng.range(1, 10_000))).collect();
     scores.sort_by(|a, b| b.cmp(a));
     // Assign cluster membership over arbitrary node ids (score order and
     // cluster structure should be uncorrelated, as in real result lists).
@@ -123,10 +119,7 @@ pub fn planted_clusters(config: &ClusterConfig, seed: u64) -> DiversityGraph {
         }
     }
     // Remaining ids (cursor..) are singletons: no edges.
-    let edges: Vec<(u32, u32)> = edges
-        .into_iter()
-        .filter(|&(a, b)| a != b)
-        .collect();
+    let edges: Vec<(u32, u32)> = edges.into_iter().filter(|&(a, b)| a != b).collect();
     DiversityGraph::from_sorted_scores(scores, &edges)
 }
 

@@ -36,7 +36,14 @@ pub fn total_weight(idf: &[f64], d: &Document) -> f64 {
 /// predicate the diversity-graph construction evaluates `O(|S|²)` times —
 /// most pairs differ enough in total weight to be rejected without
 /// touching the signatures.
-pub fn similar_above(idf: &[f64], d1: &Document, w1: f64, d2: &Document, w2: f64, tau: f64) -> bool {
+pub fn similar_above(
+    idf: &[f64],
+    d1: &Document,
+    w1: f64,
+    d2: &Document,
+    w2: f64,
+    tau: f64,
+) -> bool {
     let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
     if hi <= 0.0 || lo / hi <= tau {
         return false;
@@ -77,11 +84,7 @@ pub fn weighted_jaccard_with(idf: &[f64], d1: &Document, d2: &Document) -> f64 {
     for &(t, c) in &b[j..] {
         union += idf[t as usize] * c as f64;
     }
-    if union <= 0.0 {
-        0.0
-    } else {
-        inter / union
-    }
+    if union <= 0.0 { 0.0 } else { inter / union }
 }
 
 #[cfg(test)]
@@ -102,7 +105,10 @@ mod tests {
     #[test]
     fn disjoint_docs_have_similarity_zero() {
         let idf = vec![1.0; 10];
-        assert_eq!(weighted_jaccard_with(&idf, &doc(&[1, 2]), &doc(&[3, 4])), 0.0);
+        assert_eq!(
+            weighted_jaccard_with(&idf, &doc(&[1, 2]), &doc(&[3, 4])),
+            0.0
+        );
     }
 
     #[test]
@@ -172,8 +178,7 @@ mod tests {
         for tau in [0.2, 0.5, 0.8] {
             for i in 0..docs.len() {
                 for j in 0..docs.len() {
-                    let fast =
-                        similar_above(&idf, &docs[i], weights[i], &docs[j], weights[j], tau);
+                    let fast = similar_above(&idf, &docs[i], weights[i], &docs[j], weights[j], tau);
                     let slow = weighted_jaccard_with(&idf, &docs[i], &docs[j]) > tau;
                     assert_eq!(fast, slow, "docs {i},{j} τ {tau}");
                 }

@@ -35,6 +35,8 @@
 //! assert_eq!(out.hits.len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod corpus;
 pub mod document;
 pub mod index;
@@ -59,12 +61,12 @@ pub mod prelude {
     pub use crate::jaccard::{
         similar_above, total_weight, weighted_jaccard, weighted_jaccard_with,
     };
-    pub use crate::mmr::{mmr_documents, mmr_rerank, MmrConfig};
+    pub use crate::mmr::{MmrConfig, mmr_documents, mmr_rerank};
     pub use crate::quality::{diversified_score, redundancy};
-    pub use crate::query::{kfreq_band, query_for_band, representative_terms, KeywordQuery};
+    pub use crate::query::{KeywordQuery, kfreq_band, query_for_band, representative_terms};
     pub use crate::scan::ScanSource;
     pub use crate::search::{DiversifiedSearcher, Hit, SearchOptions, SearchOutput};
-    pub use crate::synth::{generate, SynthConfig};
+    pub use crate::synth::{SynthConfig, generate};
     pub use crate::ta::TaSource;
     pub use crate::tfidf::{partial_score, score};
     pub use crate::tokenize::tokenize;

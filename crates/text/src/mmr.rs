@@ -74,12 +74,14 @@ pub fn mmr_rerank<T: Clone>(
         let (pos, &best_idx) = remaining
             .iter()
             .enumerate()
-            .max_by(|(_, &a), (_, &b)| {
+            .max_by(|&(_, &a), &(_, &b)| {
                 let ua = config.lambda * candidates[a].score.get() / max_score
                     - (1.0 - config.lambda) * max_sim[a];
                 let ub = config.lambda * candidates[b].score.get() / max_score
                     - (1.0 - config.lambda) * max_sim[b];
-                ua.partial_cmp(&ub).expect("finite utilities").then(b.cmp(&a))
+                ua.partial_cmp(&ub)
+                    .expect("finite utilities")
+                    .then(b.cmp(&a))
             })
             .expect("non-empty remaining");
         remaining.swap_remove(pos);
@@ -91,7 +93,10 @@ pub fn mmr_rerank<T: Clone>(
         }
         selected.push(best_idx);
     }
-    selected.into_iter().map(|i| candidates[i].clone()).collect()
+    selected
+        .into_iter()
+        .map(|i| candidates[i].clone())
+        .collect()
 }
 
 /// MMR over documents with the corpus's weighted-Jaccard similarity
@@ -145,7 +150,11 @@ mod tests {
         };
         let out = mmr_rerank(&cands, sim, &MmrConfig::new(2).with_lambda(0.5));
         let ids: Vec<u32> = out.iter().map(|r| r.item).collect();
-        assert_eq!(ids, vec![0, 2], "the duplicate must lose to the distinct doc");
+        assert_eq!(
+            ids,
+            vec![0, 2],
+            "the duplicate must lose to the distinct doc"
+        );
     }
 
     #[test]

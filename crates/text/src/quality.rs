@@ -44,11 +44,7 @@ pub fn redundancy(corpus: &Corpus, selection: &[Scored<DocId>], tau: f64) -> (us
 
 /// The paper's objective value of a selection at threshold `tau`:
 /// its total score when feasible (no pair above τ), `None` otherwise.
-pub fn diversified_score(
-    corpus: &Corpus,
-    selection: &[Scored<DocId>],
-    tau: f64,
-) -> Option<Score> {
+pub fn diversified_score(corpus: &Corpus, selection: &[Scored<DocId>], tau: f64) -> Option<Score> {
     let (violations, _) = redundancy(corpus, selection, tau);
     (violations == 0).then(|| total_score(selection))
 }
@@ -69,7 +65,9 @@ mod tests {
     }
 
     fn sel(ids: &[(u32, f64)]) -> Vec<Scored<DocId>> {
-        ids.iter().map(|&(d, s)| Scored::new(d, Score::new(s))).collect()
+        ids.iter()
+            .map(|&(d, s)| Scored::new(d, Score::new(s)))
+            .collect()
     }
 
     #[test]

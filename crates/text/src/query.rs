@@ -98,7 +98,7 @@ pub fn query_for_band(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synth::{generate, SynthConfig};
+    use crate::synth::{SynthConfig, generate};
 
     #[test]
     fn band_boundaries() {

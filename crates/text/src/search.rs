@@ -177,9 +177,9 @@ mod tests {
     use super::*;
     use crate::jaccard::weighted_jaccard;
     use crate::query::query_for_band;
-    use crate::synth::{generate, SynthConfig};
-    use divtopk_core::exhaustive::exhaustive;
+    use crate::synth::{SynthConfig, generate};
     use divtopk_core::DiversityGraph;
+    use divtopk_core::exhaustive::exhaustive;
 
     fn setup() -> (Corpus, InvertedIndex) {
         let corpus = generate(&SynthConfig::tiny());
@@ -267,8 +267,14 @@ mod tests {
         let query = query_for_band(&corpus, 1, 2, 11).expect("band 1 populated");
         let searcher = DiversifiedSearcher::new(&corpus, &index);
         let mut scores = Vec::new();
-        for algorithm in [ExactAlgorithm::AStar, ExactAlgorithm::Dp, ExactAlgorithm::Cut] {
-            let options = SearchOptions::new(5).with_tau(0.5).with_algorithm(algorithm);
+        for algorithm in [
+            ExactAlgorithm::AStar,
+            ExactAlgorithm::Dp,
+            ExactAlgorithm::Cut,
+        ] {
+            let options = SearchOptions::new(5)
+                .with_tau(0.5)
+                .with_algorithm(algorithm);
             scores.push(searcher.search_ta(&query, &options).unwrap().total_score);
         }
         assert!(scores[0].approx_eq(scores[1], 1e-9));

@@ -41,10 +41,7 @@ impl<'a> TaSource<'a> {
         let mut terms: Vec<TermId> = query.to_vec();
         terms.sort_unstable();
         terms.dedup();
-        let lists = terms
-            .iter()
-            .map(|&t| index.postings(t))
-            .collect::<Vec<_>>();
+        let lists = terms.iter().map(|&t| index.postings(t)).collect::<Vec<_>>();
         TaSource {
             corpus,
             cursors: vec![0; terms.len()],

@@ -21,10 +21,7 @@ pub fn partial_score(corpus: &Corpus, term: TermId, doc: DocId) -> f64 {
 
 /// Eq. 3: full query score for a document.
 pub fn score(corpus: &Corpus, query: &[TermId], doc: DocId) -> Score {
-    let total: f64 = query
-        .iter()
-        .map(|&t| partial_score(corpus, t, doc))
-        .sum();
+    let total: f64 = query.iter().map(|&t| partial_score(corpus, t, doc)).sum();
     Score::new(total)
 }
 
@@ -76,7 +73,10 @@ mod tests {
     fn length_normalization_prefers_focused_docs() {
         let mut b = Corpus::builder();
         b.add_text("focused", "rust");
-        b.add_text("diluted", "rust language compiler borrow checker memory safety");
+        b.add_text(
+            "diluted",
+            "rust language compiler borrow checker memory safety",
+        );
         // Make "rust" rare enough for a positive idf.
         for i in 0..8 {
             b.add_text(&format!("filler{i}"), "unrelated filler words");

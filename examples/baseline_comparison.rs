@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example baseline_comparison`
 
 use divtopk::core::greedy::greedy;
-use divtopk::text::mmr::{mmr_documents, MmrConfig};
+use divtopk::text::mmr::{MmrConfig, mmr_documents};
 use divtopk::text::prelude::*;
 use divtopk::text::quality::{redundancy, total_score};
 use divtopk::{DiversityGraph, ResultSource, Scored};
@@ -18,7 +18,11 @@ fn main() {
     let corpus = generate(&SynthConfig::enwiki_like().with_num_docs(5_000));
     let index = InvertedIndex::build(&corpus);
     let query = query_for_band(&corpus, 2, 2, 77).expect("band 2 populated");
-    let words: Vec<&str> = query.terms.iter().map(|&t| corpus.vocab().term(t)).collect();
+    let words: Vec<&str> = query
+        .terms
+        .iter()
+        .map(|&t| corpus.vocab().term(t))
+        .collect();
     println!("query {:?} over {} docs", words, corpus.num_docs());
 
     let (k, tau) = (12usize, 0.6);
@@ -53,7 +57,10 @@ fn main() {
     // MMR.
     let mmr_sel = mmr_documents(&corpus, &cands, &MmrConfig::new(k).with_lambda(0.7));
 
-    println!("\n{:<10} {:>12} {:>14} {:>12}", "method", "total score", "τ-violations", "max sim");
+    println!(
+        "\n{:<10} {:>12} {:>14} {:>12}",
+        "method", "total score", "τ-violations", "max sim"
+    );
     for (name, score, sel) in [
         (
             "exact",

@@ -33,19 +33,69 @@ fn main() {
     // Relevance scores from the (fictional) ranking service; the three
     // "Aero" items are colorways of one shoe and nearly identical vectors.
     let catalog = vec![
-        Scored::new(Product { name: "Aero Glide (blue)", features: [0.9, 0.8, 0.7, 0.3, 0.5] }, Score::new(9.7)),
-        Scored::new(Product { name: "Aero Glide (red)", features: [0.9, 0.8, 0.7, 0.3, 0.5] }, Score::new(9.6)),
-        Scored::new(Product { name: "Aero Glide (black)", features: [0.9, 0.79, 0.71, 0.3, 0.5] }, Score::new(9.5)),
-        Scored::new(Product { name: "TrailBeast 2", features: [0.2, 0.1, 0.9, 0.8, 0.4] }, Score::new(8.9)),
-        Scored::new(Product { name: "CityPacer", features: [0.5, 0.9, 0.2, 0.1, 0.9] }, Score::new(8.4)),
-        Scored::new(Product { name: "Marathon Pro", features: [0.1, 0.7, 0.8, 0.2, 0.1] }, Score::new(8.0)),
-        Scored::new(Product { name: "TrailBeast 2 GTX", features: [0.2, 0.12, 0.9, 0.82, 0.45] }, Score::new(7.8)),
-        Scored::new(Product { name: "Budget Runner", features: [0.4, 0.4, 0.3, 0.4, 1.0] }, Score::new(6.2)),
+        Scored::new(
+            Product {
+                name: "Aero Glide (blue)",
+                features: [0.9, 0.8, 0.7, 0.3, 0.5],
+            },
+            Score::new(9.7),
+        ),
+        Scored::new(
+            Product {
+                name: "Aero Glide (red)",
+                features: [0.9, 0.8, 0.7, 0.3, 0.5],
+            },
+            Score::new(9.6),
+        ),
+        Scored::new(
+            Product {
+                name: "Aero Glide (black)",
+                features: [0.9, 0.79, 0.71, 0.3, 0.5],
+            },
+            Score::new(9.5),
+        ),
+        Scored::new(
+            Product {
+                name: "TrailBeast 2",
+                features: [0.2, 0.1, 0.9, 0.8, 0.4],
+            },
+            Score::new(8.9),
+        ),
+        Scored::new(
+            Product {
+                name: "CityPacer",
+                features: [0.5, 0.9, 0.2, 0.1, 0.9],
+            },
+            Score::new(8.4),
+        ),
+        Scored::new(
+            Product {
+                name: "Marathon Pro",
+                features: [0.1, 0.7, 0.8, 0.2, 0.1],
+            },
+            Score::new(8.0),
+        ),
+        Scored::new(
+            Product {
+                name: "TrailBeast 2 GTX",
+                features: [0.2, 0.12, 0.9, 0.82, 0.45],
+            },
+            Score::new(7.8),
+        ),
+        Scored::new(
+            Product {
+                name: "Budget Runner",
+                features: [0.4, 0.4, 0.3, 0.4, 1.0],
+            },
+            Score::new(6.2),
+        ),
     ];
 
     let tau = 0.97;
-    let similarity =
-        ThresholdSimilarity::new(|a: &Product, b: &Product| cosine(&a.features, &b.features), tau);
+    let similarity = ThresholdSimilarity::new(
+        |a: &Product, b: &Product| cosine(&a.features, &b.features),
+        tau,
+    );
 
     println!("plain top-4 (redundant):");
     for r in catalog.iter().take(4) {
@@ -67,8 +117,16 @@ fn main() {
     );
 
     // Exactly one Aero colorway and one TrailBeast variant may appear.
-    let aeros = out.selected.iter().filter(|r| r.item.name.starts_with("Aero")).count();
-    let beasts = out.selected.iter().filter(|r| r.item.name.starts_with("TrailBeast")).count();
+    let aeros = out
+        .selected
+        .iter()
+        .filter(|r| r.item.name.starts_with("Aero"))
+        .count();
+    let beasts = out
+        .selected
+        .iter()
+        .filter(|r| r.item.name.starts_with("TrailBeast"))
+        .count();
     assert_eq!(aeros, 1, "colorways are near-duplicates");
     assert_eq!(beasts, 1, "GTX variant is a near-duplicate");
 }

@@ -24,17 +24,29 @@ fn main() {
     );
     let t1 = Instant::now();
     let index = InvertedIndex::build(&corpus);
-    println!("index: {} postings ({:.2?})", index.num_postings(), t1.elapsed());
+    println!(
+        "index: {} postings ({:.2?})",
+        index.num_postings(),
+        t1.elapsed()
+    );
 
     // A 2-keyword query from the middle frequency band (kfreq = 3).
     let query = query_for_band(&corpus, 3, 2, 42)
         .or_else(|| query_for_band(&corpus, 2, 2, 42))
         .expect("synthetic corpus populates the low/mid bands");
-    let words: Vec<&str> = query.terms.iter().map(|&t| corpus.vocab().term(t)).collect();
+    let words: Vec<&str> = query
+        .terms
+        .iter()
+        .map(|&t| corpus.vocab().term(t))
+        .collect();
     println!(
         "query: {:?} (df = {:?})",
         words,
-        query.terms.iter().map(|&t| corpus.doc_freq(t)).collect::<Vec<_>>()
+        query
+            .terms
+            .iter()
+            .map(|&t| corpus.doc_freq(t))
+            .collect::<Vec<_>>()
     );
 
     let k = 10;
@@ -52,8 +64,12 @@ fn main() {
 
     // Diversified top-k.
     let t2 = Instant::now();
-    let options = SearchOptions::new(k).with_tau(0.6).with_algorithm(ExactAlgorithm::Cut);
-    let out = searcher.search_ta(&query, &options).expect("unbudgeted search");
+    let options = SearchOptions::new(k)
+        .with_tau(0.6)
+        .with_algorithm(ExactAlgorithm::Cut);
+    let out = searcher
+        .search_ta(&query, &options)
+        .expect("unbudgeted search");
     println!(
         "\ndiversified top-{k} (τ = 0.6, div-cut, {:.2?}):",
         t2.elapsed()
@@ -74,12 +90,20 @@ fn main() {
         let mut m: f64 = 0.0;
         for i in 0..hits.len() {
             for j in (i + 1)..hits.len() {
-                m = m.max(weighted_jaccard(&corpus, corpus.doc(hits[i].0), corpus.doc(hits[j].0)));
+                m = m.max(weighted_jaccard(
+                    &corpus,
+                    corpus.doc(hits[i].0),
+                    corpus.doc(hits[j].0),
+                ));
             }
         }
         m
     };
-    let plain: Vec<(DocId, f64)> = all.iter().take(k).map(|r| (r.item, r.score.get())).collect();
+    let plain: Vec<(DocId, f64)> = all
+        .iter()
+        .take(k)
+        .map(|r| (r.item, r.score.get()))
+        .collect();
     let diverse: Vec<(DocId, f64)> = out.hits.iter().map(|h| (h.doc, h.score.get())).collect();
     println!(
         "max pairwise similarity — plain: {:.3}, diversified: {:.3} (threshold 0.6)",

@@ -74,7 +74,11 @@ fn main() {
         "\ngreedy vs exact on the {}-node diversity graph (τ = {tau}):",
         graph.len()
     );
-    println!("  greedy: {:.4} with {} picks", greedy_score.get(), greedy_nodes.len());
+    println!(
+        "  greedy: {:.4} with {} picks",
+        greedy_score.get(),
+        greedy_nodes.len()
+    );
     println!("  exact : {:.4}", exact.get());
     assert!(greedy_score <= exact);
 }

@@ -12,7 +12,11 @@ use divtopk::*;
 fn main() {
     // The diversity graph of Fig. 1: node ids are v1..v6 in score order.
     let graph = DiversityGraph::paper_fig1();
-    println!("diversity graph: {} nodes, {} edges", graph.len(), graph.edge_count());
+    println!(
+        "diversity graph: {} nodes, {} edges",
+        graph.len(),
+        graph.edge_count()
+    );
     for v in graph.nodes() {
         println!(
             "  v{} score {:>2}  similar to {:?}",
@@ -60,12 +64,19 @@ fn main() {
     ];
     // Similarity = the Fig. 1 edges, keyed by label.
     let edges = [
-        ("v1", "v3"), ("v1", "v4"), ("v1", "v5"),
-        ("v2", "v3"), ("v2", "v4"), ("v2", "v5"),
-        ("v4", "v6"), ("v5", "v6"),
+        ("v1", "v3"),
+        ("v1", "v4"),
+        ("v1", "v5"),
+        ("v2", "v3"),
+        ("v2", "v4"),
+        ("v2", "v5"),
+        ("v4", "v6"),
+        ("v5", "v6"),
     ];
     let similar = move |a: &&str, b: &&str| {
-        edges.iter().any(|&(x, y)| (x == *a && y == *b) || (x == *b && y == *a))
+        edges
+            .iter()
+            .any(|&(x, y)| (x == *a && y == *b) || (x == *b && y == *a))
     };
     let out = DivTopK::new(
         IncrementalVecSource::new(items),

@@ -7,3 +7,9 @@ pub use divtopk_core as core;
 pub use divtopk_text as text;
 
 pub use divtopk_core::prelude::*;
+
+/// One-stop imports spanning both crates.
+pub mod prelude {
+    pub use divtopk_core::prelude::*;
+    pub use divtopk_text::prelude::*;
+}

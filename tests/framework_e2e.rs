@@ -126,11 +126,17 @@ fn inner_algorithms_agree_under_the_framework() {
     let searcher = DiversifiedSearcher::new(&fix.corpus, &fix.index);
     let query = query_for_band(&fix.corpus, 1, 2, 9).expect("band 1");
     let mut totals = Vec::new();
-    for algorithm in [ExactAlgorithm::AStar, ExactAlgorithm::Dp, ExactAlgorithm::Cut] {
+    for algorithm in [
+        ExactAlgorithm::AStar,
+        ExactAlgorithm::Dp,
+        ExactAlgorithm::Cut,
+    ] {
         let out = searcher
             .search_ta(
                 &query,
-                &SearchOptions::new(6).with_tau(0.45).with_algorithm(algorithm),
+                &SearchOptions::new(6)
+                    .with_tau(0.45)
+                    .with_algorithm(algorithm),
             )
             .unwrap();
         totals.push(out.total_score);

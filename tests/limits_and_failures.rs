@@ -65,7 +65,10 @@ fn generous_budgets_do_not_change_answers() {
         )
         .unwrap();
         for i in 0..=6 {
-            assert_eq!(unlimited.prefix_best_score(i), budgeted.prefix_best_score(i));
+            assert_eq!(
+                unlimited.prefix_best_score(i),
+                budgeted.prefix_best_score(i)
+            );
         }
     }
 }

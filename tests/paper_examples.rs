@@ -64,12 +64,33 @@ fn example3_dp_combination_scores() {
     // Fig. 6's two components assembled in one graph; combined per-size
     // table from Fig. 7: 10, 20, 28, 36, 40.
     let scores = [
-        s(10), s(8), s(7), s(7), s(6), s(1), // v1..v6 (Fig. 1 = G1)
-        s(10), s(9), s(8), s(7), s(6), // u1..u5 (G2)
+        s(10),
+        s(8),
+        s(7),
+        s(7),
+        s(6),
+        s(1), // v1..v6 (Fig. 1 = G1)
+        s(10),
+        s(9),
+        s(8),
+        s(7),
+        s(6), // u1..u5 (G2)
     ];
     let edges = [
-        (0u32, 2u32), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (3, 5), (4, 5),
-        (6, 7), (6, 9), (6, 10), (7, 8), (8, 9), (8, 10),
+        (0u32, 2u32),
+        (0, 3),
+        (0, 4),
+        (1, 2),
+        (1, 3),
+        (1, 4),
+        (3, 5),
+        (4, 5),
+        (6, 7),
+        (6, 9),
+        (6, 10),
+        (7, 8),
+        (8, 9),
+        (8, 10),
     ];
     let (g, _) = DiversityGraph::from_unsorted_scores(&scores, &edges);
     for result in [div_dp(&g, 5), div_cut(&g, 5), div_astar(&g, 5)] {
@@ -89,8 +110,14 @@ fn google_apple_anecdote() {
     let mut items: Vec<Scored<(u32, &str)>> = (0..7)
         .map(|i| Scored::new((i, "logo"), Score::new(10.0 - i as f64 * 0.1)))
         .collect();
-    for (i, kind) in ["pie", "orchard", "store", "ceo", "harvest"].iter().enumerate() {
-        items.push(Scored::new((7 + i as u32, kind), Score::new(5.0 - i as f64 * 0.1)));
+    for (i, kind) in ["pie", "orchard", "store", "ceo", "harvest"]
+        .iter()
+        .enumerate()
+    {
+        items.push(Scored::new(
+            (7 + i as u32, kind),
+            Score::new(5.0 - i as f64 * 0.1),
+        ));
     }
     let source = IncrementalVecSource::new(items);
     let similar = |a: &(u32, &str), b: &(u32, &str)| a.1 == b.1;
@@ -98,7 +125,10 @@ fn google_apple_anecdote() {
         .run()
         .unwrap();
     assert_eq!(out.selected.len(), 6); // 1 logo + 5 distinct
-    assert_eq!(out.selected.iter().filter(|r| r.item.1 == "logo").count(), 1);
+    assert_eq!(
+        out.selected.iter().filter(|r| r.item.1 == "logo").count(),
+        1
+    );
     // The kept logo is the best-scored one.
     assert_eq!(out.selected[0].item, (0, "logo"));
 }

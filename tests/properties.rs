@@ -2,7 +2,7 @@
 
 use divtopk::core::exhaustive::exhaustive;
 use divtopk::core::ops::{combine_alternative, combine_disjoint};
-use divtopk::core::{compress::compress, components::connected_components};
+use divtopk::core::{components::connected_components, compress::compress};
 use divtopk::text::prelude::*;
 use divtopk::*;
 use proptest::prelude::*;

@@ -1,0 +1,349 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the benches link against this API-compatible subset instead of the
+//! real crate: same macros (`criterion_group!`/`criterion_main!`), same
+//! entry points (`Criterion::bench_function`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`), and a real — if
+//! simple — measurement loop: warm-up, then `sample_size` timed samples,
+//! reporting min/median/mean per benchmark. Swapping in the real criterion
+//! later is a one-line change in `crates/bench/Cargo.toml`; no bench source
+//! changes needed.
+//!
+//! Flags: benches accept the substring filter argument cargo passes through
+//! (`cargo bench -- <filter>`) and ignore criterion's own flags (`--bench`,
+//! `--save-baseline`, ...), so `cargo bench` and `cargo bench --no-run`
+//! behave as expected.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier: a function name plus an optional parameter,
+/// rendered `name/parameter` exactly like the real criterion.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("div-dp", 16)` → `div-dp/16`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is only the parameter (used inside a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to [`Bencher::iter`]-style entry points.
+pub struct Bencher {
+    samples: usize,
+    measured: Option<Samples>,
+}
+
+struct Samples {
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a short warm-up, then `samples` timed
+    /// batches whose batch size is auto-calibrated so each batch takes
+    /// roughly a millisecond (keeps sub-microsecond routines measurable).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes >= ~1ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                16
+            } else {
+                ((Duration::from_millis(2).as_nanos() / elapsed.as_nanos().max(1)) as u64)
+                    .clamp(2, 16)
+            });
+        }
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        self.measured = Some(Samples { per_iter });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `routine` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion
+            .run_one(&full, self.sample_size, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver. One instance is threaded through every registered
+/// group by [`criterion_main!`].
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+/// Criterion flags that take their value as a separate argument; the value
+/// must not be mistaken for the positional name filter.
+const VALUE_FLAGS: &[&str] = &[
+    "--save-baseline",
+    "--baseline",
+    "--baseline-lenient",
+    "--load-baseline",
+    "--measurement-time",
+    "--warm-up-time",
+    "--sample-size",
+    "--nresamples",
+    "--noise-threshold",
+    "--confidence-level",
+    "--significance-level",
+    "--profile-time",
+    "--color",
+    "--colour",
+    "--output-format",
+    "--format",
+];
+
+/// Extracts the positional name filter from bench-binary arguments,
+/// skipping criterion's flags and their values.
+fn parse_filter(mut args: impl Iterator<Item = String>) -> Option<String> {
+    let mut filter = None;
+    while let Some(a) = args.next() {
+        if a.starts_with('-') {
+            // `--flag=value` is self-contained; `--flag value` consumes the
+            // next argument.
+            if !a.contains('=') && VALUE_FLAGS.contains(&a.as_str()) {
+                args.next();
+            }
+        } else if filter.is_none() {
+            filter = Some(a);
+        }
+    }
+    filter
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo forwards everything after `--` to the bench binary; the only
+        // positional argument criterion accepts there is a name filter.
+        let filter = parse_filter(std::env::args().skip(1));
+        Criterion {
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().to_string();
+        let n = self.default_sample_size;
+        self.run_one(&full, n, |b| routine(b));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    fn run_one(&mut self, name: &str, samples: usize, mut routine: impl FnMut(&mut Bencher)) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples,
+            measured: None,
+        };
+        routine(&mut bencher);
+        match bencher.measured {
+            Some(mut s) => {
+                s.per_iter.sort();
+                let min = s.per_iter[0];
+                let median = s.per_iter[s.per_iter.len() / 2];
+                let mean = s.per_iter.iter().sum::<Duration>() / s.per_iter.len() as u32;
+                println!(
+                    "{name:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+                    min,
+                    median,
+                    mean,
+                    s.per_iter.len()
+                );
+            }
+            None => println!("{name:<48} (no measurement recorded)"),
+        }
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working; prefer
+/// `std::hint::black_box` in new code.
+pub use std::hint::black_box;
+
+/// Registers a group-runner function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("div-dp", 16).to_string(), "div-dp/16");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn parse_filter_ignores_flags_and_their_values() {
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        assert_eq!(parse_filter(args(&[])), None);
+        assert_eq!(parse_filter(args(&["--bench"])), None);
+        assert_eq!(
+            parse_filter(args(&["exact", "--bench"])),
+            Some("exact".into())
+        );
+        // A value-taking flag's value is not a filter.
+        assert_eq!(
+            parse_filter(args(&["--save-baseline", "before", "--bench"])),
+            None
+        );
+        assert_eq!(
+            parse_filter(args(&["--save-baseline", "before", "greedy"])),
+            Some("greedy".into())
+        );
+        // `--flag=value` form is self-contained.
+        assert_eq!(
+            parse_filter(args(&["--sample-size=20", "ops"])),
+            Some("ops".into())
+        );
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("only-this".into()),
+            default_sample_size: 2,
+        };
+        let mut ran = false;
+        c.bench_function("something-else", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

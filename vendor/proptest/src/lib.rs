@@ -1,0 +1,402 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so `tests/properties.rs` links against this API-compatible subset: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / `collection::vec` /
+//! regex-string strategies, the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * **No shrinking.** A failing case reports its deterministic case number
+//!   and per-case seed instead of a minimized input; re-running the test
+//!   reproduces it exactly (generation is seeded from the test name).
+//! * **Regex strategies** support only the `.{lo,hi}` shape the test suite
+//!   uses (any-char strings with bounded length); other patterns fall back
+//!   to that same generator.
+//!
+//! Swapping in the real proptest later is a one-line change in the root
+//! `Cargo.toml`; no test-source changes needed.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------- rng
+
+/// Deterministic 64-bit splitmix generator used for all value generation.
+///
+/// Each `(test, case)` pair derives its own seed from the test-name hash,
+/// so failures reproduce across runs and machines without a seed file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded directly with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift reduction; bias is irrelevant at test scale.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over a string, for deriving per-test seeds from test names.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ----------------------------------------------------------- strategy
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Mirrors proptest's trait of the same name, minus shrinking: strategies
+/// here only know how to produce a fresh value from a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as u64) - (lo as u64) + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String literals act as regex strategies in proptest. This stand-in
+/// understands the `.{lo,hi}` shape (strings of `lo..=hi` arbitrary
+/// non-newline chars) and treats anything else as `.{0,64}`.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 64));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        // A deliberately gnarly alphabet: ascii, digits, punctuation,
+        // whitespace, combining marks, CJK, and astral-plane emoji.
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '-', '_', '.', ',', '!', '?', '/', '\\',
+            '(', ')', '"', '\'', '+', '=', '~', '@', 'é', 'ß', 'Ø', 'ç', '\u{0301}', 'λ', 'Ж',
+            '日', '本', '語', '中', '🌊', '🦀', '😀', '∑', '√', '\u{2028}',
+        ];
+        (0..len)
+            .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `.{lo,hi}` → `(lo, hi)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// --------------------------------------------------------- collection
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Either an exact length or a half-open range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec-size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// is drawn from `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+// ------------------------------------------------------------- config
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each test in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ------------------------------------------------------------- macros
+
+/// Declares a block of property tests. Supports the subset of proptest's
+/// grammar the suite uses: an optional leading
+/// `#![proptest_config(expr)]`, then `#[test] fn name(pat in strategy, ...)`
+/// items (doc comments and extra attributes allowed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases as u64 {
+                let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = $crate::TestRng::new(seed);
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest stand-in: {} failed at case {case}/{} (seed {seed:#x}); \
+                         deterministic — rerun reproduces it",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics, like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics, like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        Map, ProptestConfig, Strategy, TestRng, prop_assert, prop_assert_eq, prop_assert_ne,
+        proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u32..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1usize..=4).new_value(&mut rng);
+            assert!((1..=4).contains(&w));
+            let f = (0.5f64..2.0).new_value(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = TestRng::new(11);
+        let strat = collection::vec(0u32..10, 2..5).prop_map(|v| v.len());
+        for _ in 0..200 {
+            let n = strat.new_value(&mut rng);
+            assert!((2..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn string_strategy_honors_length_bounds() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..200 {
+            let s = ".{0,20}".new_value(&mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = collection::vec(0u32..100, 10).new_value(&mut TestRng::new(42));
+        let b = collection::vec(0u32..100, 10).new_value(&mut TestRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..50, v in collection::vec(0u8..2, 0..6)) {
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 6);
+        }
+    }
+}
