@@ -4,9 +4,10 @@
 //! * AB2 — cptree root/child selection heuristics
 //! * AB3 — the `necessary()` gate on/off in the framework
 //! * AB4 — A\* heap reuse across `k'` rounds on/off
+//! * AB5 — the bitset kernel vs the sorted-vec/stamp kernel in `div-astar`
 
 use criterion::{Criterion, criterion_group, criterion_main};
-use divtopk_core::astar::{AStarConfig, div_astar_configured};
+use divtopk_core::astar::{AStarConfig, KernelMode, div_astar_configured};
 use divtopk_core::cut::{ChildHeuristic, CutConfig, RootHeuristic, div_cut_configured};
 use divtopk_core::prelude::*;
 use divtopk_core::testgen::{self, ClusterConfig};
@@ -107,11 +108,48 @@ fn ab4_heap_reuse(c: &mut Criterion) {
     let mut group = c.benchmark_group("ab4_heap_reuse");
     group.sample_size(20);
     for (label, reuse) in [("on", true), ("off", false)] {
-        let config = AStarConfig { reuse_heap: reuse };
+        let config = AStarConfig {
+            reuse_heap: reuse,
+            ..AStarConfig::new()
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let (r, _) =
                     div_astar_configured(&g, 12, &config, &SearchLimits::unlimited()).unwrap();
+                black_box(r.best().score())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ab5_kernel(c: &mut Criterion) {
+    // Dense near-duplicate clusters: the shape where independence checks
+    // dominate and the word-level kernel pays off (DESIGN.md §7).
+    let g = testgen::planted_clusters(
+        &ClusterConfig {
+            clusters: 6,
+            cluster_size: 18,
+            intra_p: 0.9,
+            bridges: 6,
+            singletons: 6,
+        },
+        17,
+    );
+    let mut group = c.benchmark_group("ab5_kernel");
+    group.sample_size(20);
+    for (label, kernel) in [
+        ("bitset", KernelMode::Dense),
+        ("sorted-vec", KernelMode::Sparse),
+    ] {
+        let config = AStarConfig {
+            kernel,
+            ..AStarConfig::new()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (r, _) =
+                    div_astar_configured(&g, 16, &config, &SearchLimits::unlimited()).unwrap();
                 black_box(r.best().score())
             })
         });
@@ -155,6 +193,7 @@ criterion_group!(
     ab2_heuristics,
     ab3_necessary_gate,
     ab4_heap_reuse,
+    ab5_kernel,
     ab6_component_cache
 );
 criterion_main!(benches);

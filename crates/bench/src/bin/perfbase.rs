@@ -1,0 +1,525 @@
+//! `perfbase` — the reproducible performance baseline behind `BENCH_*.json`.
+//!
+//! Runs pinned suites (planted-cluster graphs, a path graph, and synthetic
+//! enwiki/reuters corpora queries) through the exact algorithms and emits
+//! one machine-readable JSON file with wall time and allocator peak per
+//! cell, so every PR leaves a comparable trajectory point (DESIGN.md §7).
+//! The `div-astar` cells run under **both** kernels — `bitset` (this PR's
+//! dense kernel) and `sorted-vec` (the pre-kernel stamp path kept runnable
+//! as ablation AB5) — and the summary reports the median speedup between
+//! them.
+//!
+//! ```text
+//! cargo run --release -p divtopk-bench --bin perfbase              # full → BENCH_2.json
+//! cargo run --release -p divtopk-bench --bin perfbase -- --smoke   # tiny CI variant
+//! cargo run --release -p divtopk-bench --bin perfbase -- --out target/BENCH.json --runs 7
+//! ```
+//!
+//! The binary validates its own output (strict JSON well-formedness and a
+//! non-empty cell list) and exits non-zero on any inconsistency, including
+//! a best-score disagreement between the two kernels on the same cell —
+//! the measurement run doubles as an oracle-equivalence check.
+
+use divtopk_bench::{Measurement, PeakAlloc, json, measure};
+use divtopk_core::astar::{AStarConfig, KernelMode, div_astar_configured};
+use divtopk_core::prelude::*;
+use divtopk_core::testgen::{self, ClusterConfig};
+use divtopk_text::prelude::*;
+use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+/// Deterministic seed for synth-corpus query selection (shared with
+/// `figures`).
+const QUERY_SEED: u64 = 2012;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Algo {
+    AStar,
+    Dp,
+    Cut,
+}
+
+impl Algo {
+    fn name(self) -> &'static str {
+        match self {
+            Algo::AStar => "div-astar",
+            Algo::Dp => "div-dp",
+            Algo::Cut => "div-cut",
+        }
+    }
+}
+
+fn kernel_name(kernel: KernelMode) -> &'static str {
+    match kernel {
+        KernelMode::Auto => "auto",
+        KernelMode::Dense => "bitset",
+        KernelMode::Sparse => "sorted-vec",
+    }
+}
+
+/// One measured table cell of the baseline.
+struct Cell {
+    suite: &'static str,
+    algo: &'static str,
+    kernel: &'static str,
+    seed: u64,
+    n: usize,
+    edges: usize,
+    k: usize,
+    /// Wall time per run, nanoseconds; empty when the budget tripped.
+    wall_ns_runs: Vec<u128>,
+    /// Median of `wall_ns_runs` (0 on INF).
+    wall_ns: u128,
+    /// Max allocator peak over the runs.
+    peak_bytes: usize,
+    /// Best solution score (cross-checked between kernels).
+    score: Option<f64>,
+}
+
+impl Cell {
+    fn is_inf(&self) -> bool {
+        self.wall_ns_runs.is_empty()
+    }
+
+    fn to_json(&self) -> String {
+        let score = match self.score {
+            Some(s) => format!("{s}"),
+            None => "null".to_string(),
+        };
+        let runs: Vec<String> = self.wall_ns_runs.iter().map(|w| w.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"suite\": \"{}\", \"algo\": \"{}\", \"kernel\": \"{}\", ",
+                "\"seed\": {}, \"n\": {}, \"edges\": {}, \"k\": {}, ",
+                "\"status\": \"{}\", \"wall_ns\": {}, \"wall_ns_runs\": [{}], ",
+                "\"peak_bytes\": {}, \"score\": {}}}"
+            ),
+            json::escape_string(self.suite),
+            json::escape_string(self.algo),
+            json::escape_string(self.kernel),
+            self.seed,
+            self.n,
+            self.edges,
+            self.k,
+            if self.is_inf() { "inf" } else { "done" },
+            self.wall_ns,
+            runs.join(", "),
+            self.peak_bytes,
+            score,
+        )
+    }
+}
+
+fn median(sorted: &mut [u128]) -> u128 {
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// Measures one `(graph, algorithm, kernel)` cell over `runs` repetitions.
+#[allow(clippy::too_many_arguments)]
+fn graph_cell(
+    suite: &'static str,
+    g: &DiversityGraph,
+    seed: u64,
+    k: usize,
+    algo: Algo,
+    kernel: KernelMode,
+    runs: usize,
+    budget: Duration,
+) -> Cell {
+    let limits = SearchLimits {
+        time_budget: Some(budget),
+        max_bytes: Some(1 << 30),
+        ..SearchLimits::default()
+    };
+    let mut wall_ns_runs = Vec::with_capacity(runs);
+    let mut peak_bytes = 0usize;
+    let mut score = None;
+    for _ in 0..runs {
+        let (m, result) = measure(|| match algo {
+            Algo::AStar => {
+                let config = AStarConfig {
+                    kernel,
+                    ..AStarConfig::new()
+                };
+                div_astar_configured(g, k, &config, &limits)
+                    .ok()
+                    .map(|r| r.0)
+            }
+            Algo::Dp => div_dp_limited(g, k, &limits).ok().map(|r| r.0),
+            Algo::Cut => div_cut_limited(g, k, &limits).ok().map(|r| r.0),
+        });
+        match (m, result) {
+            (
+                Measurement::Done {
+                    time,
+                    peak_bytes: p,
+                },
+                Some(r),
+            ) => {
+                wall_ns_runs.push(time.as_nanos());
+                peak_bytes = peak_bytes.max(p);
+                score = Some(r.best().score().get());
+            }
+            _ => {
+                // Budget tripped: report the cell as INF and stop retrying.
+                wall_ns_runs.clear();
+                score = None;
+                break;
+            }
+        }
+    }
+    let wall_ns = median(&mut wall_ns_runs.clone());
+    Cell {
+        suite,
+        algo: algo.name(),
+        kernel: kernel_name(kernel),
+        seed,
+        n: g.len(),
+        edges: g.edge_count(),
+        k,
+        wall_ns_runs,
+        wall_ns,
+        peak_bytes,
+        score,
+    }
+}
+
+/// Measures one synthetic-corpus query cell (end-to-end framework search).
+#[allow(clippy::too_many_arguments)]
+fn synth_cell(
+    suite: &'static str,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    kfreq: u8,
+    terms: usize,
+    k: usize,
+    runs: usize,
+    budget: Duration,
+) -> Option<Cell> {
+    let query = query_for_band(corpus, kfreq, terms, QUERY_SEED)?;
+    let limits = SearchLimits {
+        time_budget: Some(budget),
+        max_bytes: Some(1 << 30),
+        ..SearchLimits::default()
+    };
+    let options = SearchOptions::new(k)
+        .with_tau(0.6)
+        .with_algorithm(ExactAlgorithm::Cut)
+        .with_limits(limits)
+        .with_bound_decay(0.005);
+    let searcher = DiversifiedSearcher::new(corpus, index);
+    let mut wall_ns_runs = Vec::with_capacity(runs);
+    let mut peak_bytes = 0usize;
+    let mut score = None;
+    for _ in 0..runs {
+        let (m, out) = measure(|| {
+            if terms == 1 {
+                searcher.search_scan(query.terms[0], &options).ok()
+            } else {
+                searcher.search_ta(&query, &options).ok()
+            }
+        });
+        match (m, out) {
+            (
+                Measurement::Done {
+                    time,
+                    peak_bytes: p,
+                },
+                Some(out),
+            ) => {
+                wall_ns_runs.push(time.as_nanos());
+                peak_bytes = peak_bytes.max(p);
+                score = Some(out.total_score.get());
+            }
+            _ => {
+                wall_ns_runs.clear();
+                score = None;
+                break;
+            }
+        }
+    }
+    let wall_ns = median(&mut wall_ns_runs.clone());
+    Some(Cell {
+        suite,
+        algo: "div-cut",
+        kernel: "auto",
+        seed: QUERY_SEED,
+        n: corpus.num_docs(),
+        edges: 0,
+        k,
+        wall_ns_runs,
+        wall_ns,
+        peak_bytes,
+        score,
+    })
+}
+
+/// The pinned dense near-duplicate configuration behind the headline AB5
+/// speedup number (dense clusters ≈ near-dup chains; see DESIGN.md §3).
+/// Few large, very dense clusters: independence checks dominate the
+/// search, which is exactly the regime the bitset kernel targets.
+fn dense_neardup_config(smoke: bool) -> ClusterConfig {
+    if smoke {
+        ClusterConfig {
+            clusters: 3,
+            cluster_size: 12,
+            intra_p: 0.95,
+            bridges: 3,
+            singletons: 4,
+        }
+    } else {
+        ClusterConfig {
+            clusters: 4,
+            cluster_size: 60,
+            intra_p: 0.95,
+            bridges: 4,
+            singletons: 6,
+        }
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_2.json");
+    let mut smoke = false;
+    let mut runs_override: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--runs" => {
+                runs_override = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--runs needs a number"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfbase [--smoke] [--out PATH] [--runs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let runs = runs_override.unwrap_or(if smoke { 1 } else { 5 });
+    let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3, 4, 5] };
+    let budget = if smoke {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(60)
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Suite 1: the default planted-cluster shape (clusters + bridges +
+    // singletons — §3's corpus shape) on all three algorithms.
+    let default_k = if smoke { 8 } else { 20 };
+    for &seed in seeds {
+        let g = testgen::planted_clusters(&ClusterConfig::default(), seed);
+        for (algo, kernel) in [
+            (Algo::AStar, KernelMode::Dense),
+            (Algo::AStar, KernelMode::Sparse),
+            (Algo::Dp, KernelMode::Auto),
+            (Algo::Cut, KernelMode::Auto),
+        ] {
+            eprintln!(
+                "[planted_default] seed {seed} {} {}",
+                algo.name(),
+                kernel_name(kernel)
+            );
+            cells.push(graph_cell(
+                "planted_default",
+                &g,
+                seed,
+                default_k,
+                algo,
+                kernel,
+                runs,
+                budget,
+            ));
+        }
+    }
+
+    // Suite 2 (headline): dense near-duplicate clusters — where the
+    // independence checks dominate and the AB5 kernel gap is measured.
+    let neardup = dense_neardup_config(smoke);
+    let neardup_k = if smoke { 6 } else { 12 };
+    for &seed in seeds {
+        let g = testgen::planted_clusters(&neardup, seed);
+        for kernel in [KernelMode::Dense, KernelMode::Sparse] {
+            eprintln!(
+                "[planted_dense_neardup] seed {seed} div-astar {}",
+                kernel_name(kernel)
+            );
+            cells.push(graph_cell(
+                "planted_dense_neardup",
+                &g,
+                seed,
+                neardup_k,
+                Algo::AStar,
+                kernel,
+                runs,
+                budget,
+            ));
+        }
+        cells.push(graph_cell(
+            "planted_dense_neardup",
+            &g,
+            seed,
+            neardup_k,
+            Algo::Cut,
+            KernelMode::Auto,
+            runs,
+            budget,
+        ));
+    }
+
+    // Suite 3: a pure path (div-cut's best case, every interior node a cut
+    // point).
+    let path_n = if smoke { 40 } else { 200 };
+    let path_k = if smoke { 8 } else { 32 };
+    for &seed in seeds {
+        let g = testgen::path_graph(path_n, seed);
+        for algo in [Algo::Dp, Algo::Cut] {
+            cells.push(graph_cell(
+                "path",
+                &g,
+                seed,
+                path_k,
+                algo,
+                KernelMode::Auto,
+                runs,
+                budget,
+            ));
+        }
+    }
+
+    // Suite 4: end-to-end framework queries on the synthetic corpora
+    // (single-keyword scan on reuters-like, 2-keyword TA on enwiki-like).
+    let docs = if smoke { 400 } else { 4000 };
+    let synth_k = if smoke { 20 } else { 60 };
+    {
+        let config = SynthConfig::reuters_like().with_num_docs(docs);
+        let corpus = generate(&config);
+        let index = InvertedIndex::build(&corpus);
+        eprintln!("[synth_reuters_scan] {} docs", corpus.num_docs());
+        if let Some(cell) = synth_cell(
+            "synth_reuters_scan",
+            &corpus,
+            &index,
+            3,
+            1,
+            synth_k,
+            runs,
+            budget,
+        ) {
+            cells.push(cell);
+        }
+    }
+    {
+        let config = SynthConfig::enwiki_like().with_num_docs(docs);
+        let corpus = generate(&config);
+        let index = InvertedIndex::build(&corpus);
+        eprintln!("[synth_enwiki_ta] {} docs", corpus.num_docs());
+        if let Some(cell) = synth_cell(
+            "synth_enwiki_ta",
+            &corpus,
+            &index,
+            3,
+            2,
+            synth_k,
+            runs,
+            budget,
+        ) {
+            cells.push(cell);
+        }
+    }
+
+    // Kernel oracle check: within a (suite, seed), the bitset and
+    // sorted-vec div-astar cells must find the same best score.
+    for suite in ["planted_default", "planted_dense_neardup"] {
+        for &seed in seeds {
+            let find = |kernel: &str| {
+                cells.iter().find(|c| {
+                    c.suite == suite
+                        && c.seed == seed
+                        && c.algo == "div-astar"
+                        && c.kernel == kernel
+                })
+            };
+            if let (Some(dense), Some(sparse)) = (find("bitset"), find("sorted-vec")) {
+                if let (Some(a), Some(b)) = (dense.score, sparse.score) {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+                        "kernel disagreement on {suite} seed {seed}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    // Headline summary: per-seed sparse/dense wall-time ratios, median.
+    let mut summary_lines: Vec<String> = Vec::new();
+    for suite in ["planted_default", "planted_dense_neardup"] {
+        let mut ratios: Vec<f64> = Vec::new();
+        for &seed in seeds {
+            let wall = |kernel: &str| {
+                cells
+                    .iter()
+                    .find(|c| {
+                        c.suite == suite
+                            && c.seed == seed
+                            && c.algo == "div-astar"
+                            && c.kernel == kernel
+                            && !c.is_inf()
+                    })
+                    .map(|c| c.wall_ns as f64)
+            };
+            if let (Some(dense), Some(sparse)) = (wall("bitset"), wall("sorted-vec")) {
+                if dense > 0.0 {
+                    ratios.push(sparse / dense);
+                }
+            }
+        }
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let median_ratio = if ratios.is_empty() {
+            None
+        } else {
+            Some(ratios[ratios.len() / 2])
+        };
+        let value = median_ratio
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "null".to_string());
+        summary_lines.push(format!("\"astar_bitset_speedup_{suite}\": {value}"));
+        if let Some(r) = median_ratio {
+            eprintln!("[summary] {suite}: div-astar bitset vs sorted-vec median speedup {r:.2}x");
+        }
+    }
+
+    let cell_json: Vec<String> = cells
+        .iter()
+        .map(|c| format!("    {}", c.to_json()))
+        .collect();
+    let doc = format!(
+        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 2,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
+        cell_json.join(",\n"),
+        summary_lines.join(", "),
+    );
+
+    // Self-check before publishing: strict well-formedness + sanity.
+    json::validate(&doc).unwrap_or_else(|e| panic!("perfbase emitted malformed JSON: {e}"));
+    assert!(!cells.is_empty(), "perfbase produced no cells");
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    // Re-read what landed on disk — CI asserts on the artifact, not the
+    // in-memory string.
+    let on_disk = std::fs::read_to_string(&out_path).expect("re-reading output");
+    json::validate(&on_disk).expect("on-disk BENCH json is malformed");
+    eprintln!("[done] {} cells → {out_path}", cells.len());
+}

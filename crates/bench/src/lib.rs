@@ -1,7 +1,10 @@
 //! Shared harness utilities for the `divtopk` benchmark suite: a
 //! peak-tracking global allocator (the paper reports *peak memory* for
-//! every experiment) and small measurement/format helpers used by the
-//! `figures` binary.
+//! every experiment), small measurement/format helpers used by the
+//! `figures` binary, and the minimal JSON support behind the `perfbase`
+//! trajectory files (`BENCH_*.json`, DESIGN.md §7).
+
+pub mod json;
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -12,6 +12,23 @@
 //! the search from scratch. After the round for `k'`, the table's prefix
 //! maximum at `k'` is exact (see `solution.rs` docs for why prefix-max is
 //! the right contract).
+//!
+//! ## The bitset kernel (DESIGN.md §7)
+//!
+//! The search's inner loops are compatibility tests: "which nodes after
+//! `e.pos` are independent of the partial solution `S`?" With the default
+//! [`KernelMode::Auto`] these run on dense `u64` bitsets — the exclusion
+//! set of `S` is the word-level OR of the graph's precomputed adjacency
+//! bitmap rows, candidate enumeration skips excluded nodes a word (64 ids)
+//! at a time, and bounding a child `S ∪ {v}` needs no marking at all: the
+//! child's exclusion set is just `excl | adjacency_row(v)`, evaluated on
+//! the fly. Partial solutions themselves are parent-linked entries in an
+//! append-only arena (8 bytes per push), so the expansion loop's steady
+//! state performs **zero allocations**: no per-child `Vec`, no per-offer
+//! clone (`offer_extended` copies only on improvement), only amortized
+//! arena/heap growth. [`KernelMode::Sparse`] keeps the pre-kernel
+//! epoch-stamp implementation alive for the AB5 ablation and for graphs
+//! too large to carry an adjacency bitmap.
 
 use crate::error::SearchError;
 use crate::graph::{DiversityGraph, NodeId};
@@ -22,23 +39,109 @@ use crate::solution::SearchResult;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Minimal word buffer for the kernel's exclusion sets: the same layout as
+/// [`DenseNodeSet`](crate::nodeset::DenseNodeSet) (bit `v % 64` of word
+/// `v / 64`), without the cardinality bookkeeping — the search only ever
+/// scans words, and maintaining `len` would cost a popcount per word on
+/// every row OR of the hottest loop.
+#[derive(Debug)]
+struct WordBuf {
+    words: Vec<u64>,
+}
+
+impl WordBuf {
+    fn new(capacity: usize) -> WordBuf {
+        WordBuf {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    #[inline]
+    fn insert(&mut self, v: NodeId) {
+        self.words[(v / 64) as usize] |= 1u64 << (v % 64);
+    }
+
+    #[inline]
+    fn or_row(&mut self, row: &[u64]) {
+        debug_assert_eq!(self.words.len(), row.len(), "universe mismatch");
+        for (w, &r) in self.words.iter_mut().zip(row) {
+            *w |= r;
+        }
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Sentinel arena index for the empty solution.
+const NIL: u32 = u32::MAX;
+
+/// One parent link in the solution arena: `(node, parent index)`.
+type Link = (NodeId, u32);
+
+/// Heap-entry bytes charged to the ledger while an entry is in the heap.
+const ENTRY_BYTES: usize = std::mem::size_of::<Entry>();
+/// Arena bytes charged per pushed child (released when the search ends).
+const LINK_BYTES: usize = std::mem::size_of::<Link>();
+
+/// Append-only arena of parent-linked partial solutions.
+///
+/// A heap entry stores only the index of its last link; the full node set
+/// is the chain up to [`NIL`]. Pushing a child is one 8-byte append —
+/// no per-entry `Vec`, no teardown cost when entries are popped.
+#[derive(Debug, Default)]
+struct SolutionArena {
+    links: Vec<Link>,
+}
+
+impl SolutionArena {
+    fn push(&mut self, node: NodeId, parent: u32) -> u32 {
+        let idx = self.links.len() as u32;
+        self.links.push((node, parent));
+        idx
+    }
+
+    fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Drops all links, keeping the allocation. Only valid when no live
+    /// heap entry references the arena (e.g. between AB4's fresh rounds).
+    fn clear(&mut self) {
+        self.links.clear();
+    }
+
+    /// Materializes the chain ending at `tail` into `out`, ascending (nodes
+    /// are appended in increasing id order, so the chain walks descending).
+    fn materialize(&self, mut tail: u32, out: &mut Vec<NodeId>) {
+        out.clear();
+        while tail != NIL {
+            let (node, parent) = self.links[tail as usize];
+            out.push(node);
+            tail = parent;
+        }
+        out.reverse();
+    }
+}
+
 /// A partial solution in the A\* frontier.
 ///
 /// `first_untried` is `e.pos + 1` in the paper's notation: the smallest node
 /// id not yet considered for extension (all solution members have smaller
-/// ids).
-#[derive(Debug, Clone)]
+/// ids). `tail` is the solution's last link in the arena ([`NIL`] = empty).
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     bound: Score,
     score: Score,
     first_untried: NodeId,
-    solution: Vec<NodeId>,
-}
-
-impl Entry {
-    fn heap_bytes(&self) -> usize {
-        std::mem::size_of::<Entry>() + self.solution.capacity() * std::mem::size_of::<NodeId>()
-    }
+    len: u32,
+    tail: u32,
 }
 
 impl PartialEq for Entry {
@@ -63,110 +166,279 @@ impl Ord for Entry {
     }
 }
 
-/// Scratch space for bound computations: two stamp arrays avoid clearing
-/// `O(V)` buffers per entry.
+/// Which independence-check kernel `div-astar` runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Dense bitset kernel when the graph carries an adjacency bitmap
+    /// (see [`crate::graph::DENSE_ADJ_MAX_NODES`]), stamp kernel otherwise.
+    #[default]
+    Auto,
+    /// Force the dense bitset kernel. On graphs without an adjacency
+    /// bitmap, candidate rows are built on the fly (correct, but the
+    /// per-candidate clear costs O(n/64); prefer `Auto`).
+    Dense,
+    /// Force the pre-kernel epoch-stamp implementation — the sorted-vec
+    /// baseline kept runnable for the AB5 ablation (DESIGN.md §6/§7).
+    Sparse,
+}
+
+/// Kernel-specific exclusion state. Allocated once per search, reused
+/// across every expansion.
+#[derive(Debug)]
+enum KernelScratch {
+    Dense {
+        /// Nodes adjacent to the current popped solution (bitset).
+        excl: WordBuf,
+        /// Fallback candidate row, used only when the graph has no
+        /// adjacency bitmap.
+        cand: WordBuf,
+    },
+    Sparse {
+        /// Stamped with `epoch` for nodes adjacent to the popped solution.
+        excl: Vec<u32>,
+        /// Stamped with `cand_epoch` for nodes adjacent to the candidate.
+        cand: Vec<u32>,
+        epoch: u32,
+        cand_epoch: u32,
+    },
+}
+
+/// Reusable per-search state: kernel scratch, the solution arena, and the
+/// materialization buffer. Nothing here is allocated per expansion.
+#[derive(Debug)]
 struct Scratch {
-    /// Stamped with `epoch` for nodes adjacent to the popped entry's solution.
-    excl: Vec<u32>,
-    /// Stamped with `cand_epoch` for nodes adjacent to the candidate node.
-    cand: Vec<u32>,
-    epoch: u32,
-    cand_epoch: u32,
+    kernel: KernelScratch,
+    arena: SolutionArena,
+    /// The popped entry's solution, materialized ascending.
+    sol_buf: Vec<NodeId>,
 }
 
 impl Scratch {
-    fn new(n: usize) -> Scratch {
+    fn new(g: &DiversityGraph, mode: KernelMode) -> Scratch {
+        let n = g.len();
+        let dense = match mode {
+            KernelMode::Auto => g.has_adjacency_bitmap(),
+            KernelMode::Dense => true,
+            KernelMode::Sparse => false,
+        };
+        let kernel = if dense {
+            KernelScratch::Dense {
+                excl: WordBuf::new(n),
+                cand: WordBuf::new(n),
+            }
+        } else {
+            KernelScratch::Sparse {
+                excl: vec![0; n],
+                cand: vec![0; n],
+                epoch: 0,
+                cand_epoch: 0,
+            }
+        };
         Scratch {
-            excl: vec![0; n],
-            cand: vec![0; n],
-            epoch: 0,
-            cand_epoch: 0,
+            kernel,
+            arena: SolutionArena::default(),
+            sol_buf: Vec::new(),
         }
     }
 
-    /// Marks everything adjacent to `solution` (fresh epoch).
-    fn mark_solution(&mut self, g: &DiversityGraph, solution: &[NodeId]) {
-        self.epoch += 1;
-        for &v in solution {
-            for &nb in g.neighbors(v) {
-                self.excl[nb as usize] = self.epoch;
+    /// Materializes `tail`'s solution into `sol_buf` and marks everything
+    /// adjacent to it as excluded.
+    fn mark_solution(&mut self, g: &DiversityGraph, tail: u32) {
+        self.arena.materialize(tail, &mut self.sol_buf);
+        match &mut self.kernel {
+            KernelScratch::Dense { excl, .. } => {
+                excl.clear();
+                for &v in &self.sol_buf {
+                    if let Some(row) = g.adjacency_row(v) {
+                        excl.or_row(row);
+                    } else {
+                        for &nb in g.neighbors(v) {
+                            excl.insert(nb);
+                        }
+                    }
+                }
+            }
+            KernelScratch::Sparse { excl, epoch, .. } => {
+                *epoch += 1;
+                for &v in &self.sol_buf {
+                    for &nb in g.neighbors(v) {
+                        excl[nb as usize] = *epoch;
+                    }
+                }
             }
         }
     }
 
-    /// Marks everything adjacent to `v` (fresh candidate epoch).
-    fn mark_candidate(&mut self, g: &DiversityGraph, v: NodeId) {
-        self.cand_epoch += 1;
-        for &nb in g.neighbors(v) {
-            self.cand[nb as usize] = self.cand_epoch;
+    /// Smallest node `≥ from` compatible with the marked solution, or
+    /// `None`. The dense kernel skips excluded nodes 64 ids at a time.
+    fn next_free(&self, g: &DiversityGraph, from: NodeId) -> Option<NodeId> {
+        let n = g.len() as NodeId;
+        match &self.kernel {
+            KernelScratch::Dense { excl, .. } => next_zero_bit(excl.words(), None, from, n),
+            KernelScratch::Sparse { excl, epoch, .. } => {
+                (from..n).find(|&v| excl[v as usize] != *epoch)
+            }
         }
     }
 
-    #[inline]
-    fn excluded(&self, v: NodeId) -> bool {
-        self.excl[v as usize] == self.epoch
+    /// `astar-bound` for the child `solution ∪ {v}` (Algorithm 4 lines
+    /// 18–26), assuming the parent solution is already marked. The dense
+    /// kernel evaluates `excl | adjacency_row(v)` on the fly — no marking.
+    fn child_bound(
+        &mut self,
+        g: &DiversityGraph,
+        v: NodeId,
+        size: usize,
+        base_score: Score,
+        k_prime: usize,
+    ) -> Score {
+        match &mut self.kernel {
+            KernelScratch::Dense { excl, cand } => {
+                let row: &[u64] = match g.adjacency_row(v) {
+                    Some(row) => row,
+                    None => {
+                        cand.clear();
+                        for &nb in g.neighbors(v) {
+                            cand.insert(nb);
+                        }
+                        cand.words()
+                    }
+                };
+                bound_zero_scan(g, excl.words(), Some(row), size, base_score, v + 1, k_prime)
+            }
+            KernelScratch::Sparse {
+                excl,
+                cand,
+                epoch,
+                cand_epoch,
+            } => {
+                *cand_epoch += 1;
+                for &nb in g.neighbors(v) {
+                    cand[nb as usize] = *cand_epoch;
+                }
+                let n = g.len() as NodeId;
+                let mut bound = base_score;
+                let mut size = size;
+                let mut i = v + 1;
+                while size < k_prime && i < n {
+                    if excl[i as usize] != *epoch && cand[i as usize] != *cand_epoch {
+                        bound += g.score(i);
+                        size += 1;
+                    }
+                    i += 1;
+                }
+                bound
+            }
+        }
     }
 
-    #[inline]
-    fn cand_excluded(&self, v: NodeId) -> bool {
-        self.cand[v as usize] == self.cand_epoch
+    /// Standalone `astar-bound` for one entry (used for the root and when
+    /// re-bounding the heap between rounds). Marks the entry's exclusions
+    /// itself.
+    fn solution_bound(&mut self, g: &DiversityGraph, e: &Entry, k_prime: usize) -> Score {
+        self.mark_solution(g, e.tail);
+        match &self.kernel {
+            KernelScratch::Dense { excl, .. } => bound_zero_scan(
+                g,
+                excl.words(),
+                None,
+                e.len as usize,
+                e.score,
+                e.first_untried,
+                k_prime,
+            ),
+            KernelScratch::Sparse { excl, epoch, .. } => {
+                let n = g.len() as NodeId;
+                let mut bound = e.score;
+                let mut size = e.len as usize;
+                let mut i = e.first_untried;
+                while size < k_prime && i < n {
+                    if excl[i as usize] != *epoch {
+                        bound += g.score(i);
+                        size += 1;
+                    }
+                    i += 1;
+                }
+                bound
+            }
+        }
     }
 }
 
-/// `astar-bound(G, e, k')` (Algorithm 4 lines 18–26) given pre-marked
-/// exclusion stamps: extends from `first_untried`, greedily adding the
-/// highest-scored compatible nodes until `k'` total.
-///
-/// `use_cand` selects whether the candidate stamp array participates
-/// (true when bounding a child `e ∪ {v}` whose neighbors were just marked).
-fn bound_from_marks(
+/// Smallest id `≥ from` whose bit is clear in `a | b` (b optional), or
+/// `None`. Scans whole zero words with one test each.
+fn next_zero_bit(a: &[u64], b: Option<&[u64]>, from: NodeId, n: NodeId) -> Option<NodeId> {
+    if from >= n {
+        return None;
+    }
+    let combined = |wi: usize| a[wi] | b.map_or(0, |b| b[wi]);
+    let mut wi = (from / 64) as usize;
+    let mut free = !combined(wi) & (!0u64 << (from % 64));
+    loop {
+        if free != 0 {
+            let v = wi as u32 * 64 + free.trailing_zeros();
+            // Bits at or past `n` are universe padding, not nodes; no
+            // later word can hold a valid id either.
+            return (v < n).then_some(v);
+        }
+        wi += 1;
+        if wi >= a.len() {
+            return None;
+        }
+        free = !combined(wi);
+    }
+}
+
+/// Greedy bound accumulation over the zero bits of `a | b`, starting at
+/// `first` with `size` nodes and `bound` score already committed.
+fn bound_zero_scan(
     g: &DiversityGraph,
-    scratch: &Scratch,
-    use_cand: bool,
+    a: &[u64],
+    b: Option<&[u64]>,
     mut size: usize,
-    base_score: Score,
-    first_untried: NodeId,
+    mut bound: Score,
+    first: NodeId,
     k_prime: usize,
 ) -> Score {
     let n = g.len() as NodeId;
-    let mut bound = base_score;
-    let mut i = first_untried;
-    while size < k_prime && i < n {
-        if !scratch.excluded(i) && (!use_cand || !scratch.cand_excluded(i)) {
-            bound += g.score(i);
-            size += 1;
+    let mut i = first;
+    while size < k_prime {
+        match next_zero_bit(a, b, i, n) {
+            Some(v) => {
+                bound += g.score(v);
+                size += 1;
+                i = v + 1;
+            }
+            None => break,
         }
-        i += 1;
     }
     bound
 }
 
-/// Standalone `astar-bound` for one entry (used when re-bounding the heap
-/// between rounds). Marks the entry's exclusions itself.
-fn astar_bound(g: &DiversityGraph, scratch: &mut Scratch, e: &Entry, k_prime: usize) -> Score {
-    scratch.mark_solution(g, &e.solution);
-    bound_from_marks(
-        g,
-        scratch,
-        false,
-        e.solution.len(),
-        e.score,
-        e.first_untried,
-        k_prime,
-    )
-}
-
-/// Configuration knobs for `div-astar` (ablations; defaults match the paper).
+/// Configuration knobs for `div-astar` (ablations; defaults match the paper
+/// plus the bitset kernel).
 #[derive(Debug, Clone)]
 pub struct AStarConfig {
     /// Reuse the heap across `k'` rounds (Lemma 6). Disabling restarts the
     /// search from scratch for every `k'` — ablation AB4.
     pub reuse_heap: bool,
+    /// Independence-check kernel — ablation AB5 forces [`KernelMode::Sparse`].
+    pub kernel: KernelMode,
+}
+
+impl AStarConfig {
+    /// The paper's configuration: heap reuse on, kernel auto-selected.
+    pub fn new() -> AStarConfig {
+        AStarConfig {
+            reuse_heap: true,
+            kernel: KernelMode::Auto,
+        }
+    }
 }
 
 impl Default for AStarConfig {
     fn default() -> AStarConfig {
-        AStarConfig { reuse_heap: true }
+        AStarConfig::new()
     }
 }
 
@@ -177,12 +449,12 @@ impl Default for AStarConfig {
 pub fn div_astar(g: &DiversityGraph, k: usize) -> SearchResult {
     let mut metrics = SearchMetrics::default();
     let mut ledger = SearchLimits::unlimited().start();
-    div_astar_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)
+    div_astar_ledger(g, k, &AStarConfig::new(), &mut ledger, &mut metrics)
         .expect("unlimited search cannot exhaust budgets")
 }
 
 /// Exact diversified top-k with explicit configuration and budgets
-/// (ablation AB4 toggles heap reuse here).
+/// (ablation AB4 toggles heap reuse here, AB5 the kernel).
 pub fn div_astar_configured(
     g: &DiversityGraph,
     k: usize,
@@ -203,7 +475,7 @@ pub fn div_astar_limited(
 ) -> Result<(SearchResult, SearchMetrics), SearchError> {
     let mut metrics = SearchMetrics::default();
     let mut ledger = limits.start();
-    let result = div_astar_ledger(g, k, &AStarConfig::default(), &mut ledger, &mut metrics)?;
+    let result = div_astar_ledger(g, k, &AStarConfig::new(), &mut ledger, &mut metrics)?;
     Ok((result, metrics))
 }
 
@@ -224,7 +496,7 @@ pub(crate) fn div_astar_ledger(
     }
     // Solutions cannot exceed n nodes: rounds beyond n are no-ops.
     let k_cap = k.min(n);
-    let mut scratch = Scratch::new(n);
+    let mut scratch = Scratch::new(g, config.kernel);
 
     if config.reuse_heap {
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
@@ -243,9 +515,15 @@ pub(crate) fn div_astar_ledger(
                 metrics,
             )?;
         }
+        ledger.release_bytes(heap.len() * ENTRY_BYTES);
     } else {
         // Ablation AB4: fresh search per k'.
         for k_prime in (1..=k_cap).rev() {
+            // Each round rebuilds its heap from scratch, so no entry can
+            // reference earlier rounds' links: reclaim them instead of
+            // letting dead chains accumulate against the byte budget.
+            ledger.release_bytes(scratch.arena.len() * LINK_BYTES);
+            scratch.arena.clear();
             let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
             push_root(g, &mut scratch, &mut heap, k_prime, ledger, metrics)?;
             astar_search(
@@ -257,8 +535,11 @@ pub(crate) fn div_astar_ledger(
                 ledger,
                 metrics,
             )?;
+            ledger.release_bytes(heap.len() * ENTRY_BYTES);
         }
     }
+    // The arena (and with it every surviving solution chain) dies here.
+    ledger.release_bytes(scratch.arena.len() * LINK_BYTES);
     Ok(result)
 }
 
@@ -274,10 +555,11 @@ fn push_root(
         bound: Score::ZERO,
         score: Score::ZERO,
         first_untried: 0,
-        solution: Vec::new(),
+        len: 0,
+        tail: NIL,
     };
-    root.bound = astar_bound(g, scratch, &root, k_prime);
-    ledger.add_bytes(root.heap_bytes())?;
+    root.bound = scratch.solution_bound(g, &root, k_prime);
+    ledger.add_bytes(ENTRY_BYTES)?;
     metrics.pushes += 1;
     heap.push(root);
     Ok(())
@@ -293,7 +575,7 @@ fn rebound_heap(
 ) {
     let mut entries = std::mem::take(heap).into_vec();
     for e in &mut entries {
-        e.bound = astar_bound(g, scratch, e, k_prime);
+        e.bound = scratch.solution_bound(g, e, k_prime);
     }
     *heap = BinaryHeap::from(entries);
 }
@@ -309,7 +591,6 @@ fn astar_search(
     ledger: &mut BudgetLedger,
     metrics: &mut SearchMetrics,
 ) -> Result<(), SearchError> {
-    let n = g.len() as NodeId;
     loop {
         // Stop when the frontier cannot beat the incumbent for sizes ≤ k'.
         let incumbent = result.prefix_best_score(k_prime);
@@ -319,51 +600,40 @@ fn astar_search(
             Some(_) => {}
         }
         let e = heap.pop().expect("peeked entry");
-        ledger.release_bytes(e.heap_bytes());
+        ledger.release_bytes(ENTRY_BYTES);
         ledger.record_expansion()?;
         metrics.expansions += 1;
 
-        if e.solution.len() >= k_prime {
+        if e.len as usize >= k_prime {
             continue;
         }
-        scratch.mark_solution(g, &e.solution);
-        for v in e.first_untried..n {
-            if scratch.excluded(v) {
-                continue; // adjacent to the current solution
-            }
+        scratch.mark_solution(g, e.tail);
+        let mut from = e.first_untried;
+        while let Some(v) = scratch.next_free(g, from) {
+            from = v + 1;
             // Child solution e' = e.solution ∪ {v}.
-            let mut child_solution = Vec::with_capacity(e.solution.len() + 1);
-            child_solution.extend_from_slice(&e.solution);
-            child_solution.push(v);
+            let child_len = e.len as usize + 1;
             let child_score = e.score + g.score(v);
-            scratch.mark_candidate(g, v);
-            let child_bound = bound_from_marks(
-                g,
-                scratch,
-                true,
-                child_solution.len(),
-                child_score,
-                v + 1,
-                k_prime,
-            );
+            let child_bound = scratch.child_bound(g, v, child_len, child_score, k_prime);
             // Line 17: a child with j elements is itself a candidate D_j.
-            result.offer(child_solution.clone(), child_score);
+            result.offer_extended(&scratch.sol_buf, v, child_score);
             // Push every extensible child (Algorithm 4 line 16). Children
             // whose bound trails the incumbent must NOT be dropped here:
             // later rounds run with smaller k' and a *lower* incumbent, so a
             // child useless now can still seed the optimum for a smaller
             // size (the heap is reused across rounds, Lemma 6). Children at
             // size k' can never extend in this or any later round.
-            if child_solution.len() < k_prime {
-                let child = Entry {
+            if child_len < k_prime {
+                let tail = scratch.arena.push(v, e.tail);
+                ledger.add_bytes(ENTRY_BYTES + LINK_BYTES)?;
+                metrics.pushes += 1;
+                heap.push(Entry {
                     bound: child_bound,
                     score: child_score,
                     first_untried: v + 1,
-                    solution: child_solution,
-                };
-                ledger.add_bytes(child.heap_bytes())?;
-                metrics.pushes += 1;
-                heap.push(child);
+                    len: child_len as u32,
+                    tail,
+                });
                 ledger.check_heap(heap.len())?;
                 metrics.peak_heap = metrics.peak_heap.max(heap.len());
             }
@@ -375,11 +645,14 @@ fn astar_search(
 mod tests {
     use super::*;
     use crate::exhaustive::exhaustive;
+    use crate::nodeset::DenseNodeSet;
     use crate::testgen;
 
     fn s(v: u32) -> Score {
         Score::from(v)
     }
+
+    const ALL_KERNELS: [KernelMode; 3] = [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse];
 
     /// Checks the prefix-max contract of `got` against the point-wise-exact
     /// oracle `want` on `g`.
@@ -391,6 +664,18 @@ mod tests {
                 want.prefix_best_score(i),
                 "prefix-max mismatch at size {i}"
             );
+        }
+    }
+
+    /// Builds a singleton entry `{v}` in `scratch`'s arena.
+    fn singleton_entry(scratch: &mut Scratch, g: &DiversityGraph, v: NodeId) -> Entry {
+        let tail = scratch.arena.push(v, NIL);
+        Entry {
+            bound: Score::ZERO,
+            score: g.score(v),
+            first_untried: v + 1,
+            len: 1,
+            tail,
         }
     }
 
@@ -408,25 +693,22 @@ mod tests {
     }
 
     #[test]
-    fn fig4_initial_bounds() {
+    fn fig4_initial_bounds_on_every_kernel() {
         // Example 2's bound values for singleton entries at k' = 3:
         // {v1}: 19, {v2}: 9, {v3}: 20, {v4}: 13, {v5}: 6, {v6}: 1.
         let g = DiversityGraph::paper_fig1();
-        let mut scratch = Scratch::new(g.len());
         let expected = [19u32, 9, 20, 13, 6, 1];
-        for (v, &want) in expected.iter().enumerate() {
-            let e = Entry {
-                bound: Score::ZERO,
-                score: g.score(v as NodeId),
-                first_untried: v as NodeId + 1,
-                solution: vec![v as NodeId],
-            };
-            assert_eq!(
-                astar_bound(&g, &mut scratch, &e, 3),
-                s(want),
-                "bound of {{v{}}}",
-                v + 1
-            );
+        for mode in ALL_KERNELS {
+            let mut scratch = Scratch::new(&g, mode);
+            for (v, &want) in expected.iter().enumerate() {
+                let e = singleton_entry(&mut scratch, &g, v as NodeId);
+                assert_eq!(
+                    scratch.solution_bound(&g, &e, 3),
+                    s(want),
+                    "bound of {{v{}}} under {mode:?}",
+                    v + 1
+                );
+            }
         }
     }
 
@@ -434,14 +716,59 @@ mod tests {
     fn fig5_rebound_for_k2() {
         // When k' drops to 2, {v1}'s bound becomes 18 (Fig. 5).
         let g = DiversityGraph::paper_fig1();
-        let mut scratch = Scratch::new(g.len());
-        let e = Entry {
-            bound: Score::ZERO,
-            score: s(10),
-            first_untried: 1,
-            solution: vec![0],
-        };
-        assert_eq!(astar_bound(&g, &mut scratch, &e, 2), s(18));
+        for mode in ALL_KERNELS {
+            let mut scratch = Scratch::new(&g, mode);
+            let e = singleton_entry(&mut scratch, &g, 0);
+            assert_eq!(scratch.solution_bound(&g, &e, 2), s(18), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn child_bound_matches_standalone_bound() {
+        // Bounding e ∪ {v} via `child_bound` must agree with building the
+        // child entry and re-bounding it from scratch, on every kernel.
+        for seed in 0..10 {
+            let g = testgen::random_graph(40, 0.3, 500 + seed);
+            for mode in ALL_KERNELS {
+                let mut scratch = Scratch::new(&g, mode);
+                let root = Entry {
+                    bound: Score::ZERO,
+                    score: Score::ZERO,
+                    first_untried: 0,
+                    len: 0,
+                    tail: NIL,
+                };
+                scratch.mark_solution(&g, root.tail);
+                for v in 0..6u32 {
+                    let via_child = scratch.child_bound(&g, v, 1, g.score(v), 4);
+                    let mut fresh = Scratch::new(&g, mode);
+                    let child = singleton_entry(&mut fresh, &g, v);
+                    let standalone = fresh.solution_bound(&g, &child, 4);
+                    assert_eq!(via_child, standalone, "seed {seed} v {v} {mode:?}");
+                    // `child_bound` must not disturb the parent's marks.
+                    scratch.mark_solution(&g, root.tail);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_zero_bit_scans_words() {
+        // 130-bit universe, everything excluded except 3, 64 and 129.
+        let mut excl = DenseNodeSet::new(130);
+        for v in 0..130u32 {
+            excl.insert(v);
+        }
+        for v in [3u32, 64, 129] {
+            excl.remove(v);
+        }
+        assert_eq!(next_zero_bit(excl.words(), None, 0, 130), Some(3));
+        assert_eq!(next_zero_bit(excl.words(), None, 4, 130), Some(64));
+        assert_eq!(next_zero_bit(excl.words(), None, 65, 130), Some(129));
+        assert_eq!(next_zero_bit(excl.words(), None, 130, 130), None);
+        // Padding bits past n are never reported as free.
+        excl.insert(129);
+        assert_eq!(next_zero_bit(excl.words(), None, 65, 130), None);
     }
 
     #[test]
@@ -475,8 +802,46 @@ mod tests {
     }
 
     #[test]
+    fn every_kernel_matches_exhaustive() {
+        for seed in 200..215 {
+            let g = testgen::random_graph(13, 0.35, seed);
+            let want = exhaustive(&g, 6);
+            for mode in ALL_KERNELS {
+                let config = AStarConfig {
+                    kernel: mode,
+                    ..AStarConfig::new()
+                };
+                let (got, _) =
+                    div_astar_configured(&g, 6, &config, &SearchLimits::unlimited()).unwrap();
+                assert_prefix_max_matches(&g, &got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_kernel_without_bitmap_matches() {
+        // Forcing the bitset kernel on a stripped graph exercises the
+        // build-candidate-row-on-the-fly fallback.
+        for seed in 300..310 {
+            let mut g = testgen::random_graph(12, 0.4, seed);
+            g.strip_adjacency_bitmap();
+            let want = exhaustive(&g, 5);
+            let config = AStarConfig {
+                kernel: KernelMode::Dense,
+                ..AStarConfig::new()
+            };
+            let (got, _) =
+                div_astar_configured(&g, 5, &config, &SearchLimits::unlimited()).unwrap();
+            assert_prefix_max_matches(&g, &got, &want);
+        }
+    }
+
+    #[test]
     fn no_reuse_ablation_matches() {
-        let config = AStarConfig { reuse_heap: false };
+        let config = AStarConfig {
+            reuse_heap: false,
+            ..AStarConfig::new()
+        };
         for seed in 0..10 {
             let g = testgen::random_graph(10, 0.4, seed);
             let mut m1 = SearchMetrics::default();

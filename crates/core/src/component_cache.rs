@@ -144,7 +144,7 @@ impl ComponentCache {
                 continue;
             }
             let members = self.members[root as usize].clone();
-            let table = self.solve_component(&members, k, config, &mut ledger, metrics)?;
+            let table = self.solve_component(members, k, config, &mut ledger, metrics)?;
             self.tables.insert(root, table);
             self.dirty.remove(&root);
         }
@@ -161,7 +161,7 @@ impl ComponentCache {
             // Cached tables may target a previous k; recompute on mismatch.
             if table.k() != k {
                 let members = self.members[root as usize].clone();
-                let fresh = self.solve_component(&members, k, config, &mut ledger, metrics)?;
+                let fresh = self.solve_component(members, k, config, &mut ledger, metrics)?;
                 self.tables.insert(root, fresh);
             }
             combine_disjoint_in_place(&mut combined, &self.tables[&root]);
@@ -171,19 +171,30 @@ impl ComponentCache {
     }
 
     /// Exact table for one component (arrival-id space).
+    ///
+    /// The component's members are relabelled to a **dense** local id
+    /// space `0..members.len()` before solving — the same density contract
+    /// every remap in the engine maintains (compression, induced
+    /// subgraphs), and the reason the per-query adjacency bitmap and
+    /// [`crate::nodeset::DenseNodeSet`]s stay O(component²) bits rather
+    /// than O(stream²) (DESIGN.md §7).
     fn solve_component(
         &self,
-        members: &[u32],
+        mut members: Vec<u32>,
         k: usize,
         config: &CutConfig,
         ledger: &mut crate::limits::BudgetLedger,
         metrics: &mut SearchMetrics,
     ) -> Result<SearchResult, SearchError> {
-        // Build the component's graph: local ids = positions in `members`.
-        let mut local_of = HashMap::with_capacity(members.len());
-        for (local, &a) in members.iter().enumerate() {
-            local_of.insert(a, local as u32);
-        }
+        // Sort the member list: local id = rank within the component, and
+        // arrival→local lookups become binary searches (no per-solve hash
+        // map).
+        members.sort_unstable();
+        let local_of = |arrival: u32| -> u32 {
+            members
+                .binary_search(&arrival)
+                .expect("edges never cross components") as u32
+        };
         let scores: Vec<Score> = members.iter().map(|&a| self.scores[a as usize]).collect();
         let mut edges = Vec::new();
         for (local, &a) in members.iter().enumerate() {
@@ -191,10 +202,7 @@ impl ComponentCache {
                 if nb > a {
                     continue; // count each edge once
                 }
-                let Some(&nb_local) = local_of.get(&nb) else {
-                    unreachable!("edges never cross components");
-                };
-                edges.push((local as u32, nb_local));
+                edges.push((local as u32, local_of(nb)));
             }
         }
         let (graph, perm) = DiversityGraph::from_unsorted_scores(&scores, &edges);

@@ -10,8 +10,14 @@
 //! (two nodes with identical closed neighborhoods and scores dominate each
 //! other; removing both would be wrong), and passes repeat to a fixpoint
 //! since each removal can enable more.
+//!
+//! When the graph carries an adjacency bitmap (DESIGN.md §7), the
+//! neighborhood-inclusion test `N[v_j] ⊆ N[v_i]` runs word-at-a-time:
+//! `row(v_j) ∧ alive ∧ ¬row(v_i)` must be empty apart from `v_i` itself —
+//! `O(n/64)` per candidate instead of a probe per neighbor.
 
 use crate::graph::{DiversityGraph, NodeId};
+use crate::nodeset::DenseNodeSet;
 
 /// Returns the ids of nodes that survive compression, ascending.
 ///
@@ -19,19 +25,17 @@ use crate::graph::{DiversityGraph, NodeId};
 /// every size, by Lemma 7 applied inductively.
 pub fn compress(g: &DiversityGraph) -> Vec<NodeId> {
     let n = g.len();
-    let mut alive = vec![true; n];
-    let mut removed = 0usize;
+    let mut alive = DenseNodeSet::from_nodes(n, 0..n as NodeId);
     loop {
         let mut changed = false;
         // Visit lowest scores first (highest ids): dominated nodes are
         // usually cheap leaves, and removing them first exposes more.
         for vi in (0..n as NodeId).rev() {
-            if !alive[vi as usize] {
+            if !alive.contains(vi) {
                 continue;
             }
             if find_dominator(g, &alive, vi).is_some() {
-                alive[vi as usize] = false;
-                removed += 1;
+                alive.remove(vi);
                 changed = true;
             }
         }
@@ -39,29 +43,48 @@ pub fn compress(g: &DiversityGraph) -> Vec<NodeId> {
             break;
         }
     }
-    let _ = removed;
-    (0..n as NodeId).filter(|&v| alive[v as usize]).collect()
+    alive.to_sorted_vec()
 }
 
 /// Finds an alive neighbor of `vi` that dominates it, if any.
-fn find_dominator(g: &DiversityGraph, alive: &[bool], vi: NodeId) -> Option<NodeId> {
-    'candidates: for &vj in g.neighbors(vi) {
-        if !alive[vj as usize] || g.score(vj) < g.score(vi) {
+fn find_dominator(g: &DiversityGraph, alive: &DenseNodeSet, vi: NodeId) -> Option<NodeId> {
+    g.neighbors(vi)
+        .iter()
+        .copied()
+        .find(|&vj| alive.contains(vj) && g.score(vj) >= g.score(vi) && dominates(g, alive, vj, vi))
+}
+
+/// True iff every alive neighbor of `vj` other than `vi` also neighbors
+/// `vi` (the closed-neighborhood inclusion of Lemma 7, given `vj ≈ vi` and
+/// the score comparison already checked by the caller).
+fn dominates(g: &DiversityGraph, alive: &DenseNodeSet, vj: NodeId, vi: NodeId) -> bool {
+    if let (Some(row_j), Some(row_i)) = (g.adjacency_row(vj), g.adjacency_row(vi)) {
+        // Word-level: offenders are alive neighbors of vj that vi misses.
+        // vi itself always shows up in row_j (vj ≈ vi) and never in row_i
+        // (no self-loops), so mask its bit out.
+        let vi_word = (vi / 64) as usize;
+        let vi_bit = 1u64 << (vi % 64);
+        for (w, ((&rj, &ri), &al)) in row_j.iter().zip(row_i).zip(alive.words()).enumerate() {
+            let mut offenders = rj & al & !ri;
+            if w == vi_word {
+                offenders &= !vi_bit;
+            }
+            if offenders != 0 {
+                return false;
+            }
+        }
+        return true;
+    }
+    // Fallback without a bitmap: probe per neighbor.
+    for &w in g.neighbors(vj) {
+        if w == vi || !alive.contains(w) {
             continue;
         }
-        // Closed-neighborhood inclusion over alive nodes:
-        // every alive neighbor of vj (≠ vi) must also neighbor vi.
-        for &w in g.neighbors(vj) {
-            if w == vi || !alive[w as usize] {
-                continue;
-            }
-            if !g.are_adjacent(vi, w) {
-                continue 'candidates;
-            }
+        if !g.are_adjacent(vi, w) {
+            return false;
         }
-        return Some(vj);
     }
-    None
+    true
 }
 
 #[cfg(test)]
@@ -151,6 +174,17 @@ mod tests {
                     assert!(g.is_independent_set(&sol.nodes()));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn word_level_and_probe_paths_agree() {
+        // The bitmap-free fallback must remove exactly the same nodes.
+        for seed in 0..30 {
+            let g = testgen::random_graph(40, 0.3, 700 + seed);
+            let mut stripped = g.clone();
+            stripped.strip_adjacency_bitmap();
+            assert_eq!(compress(&g), compress(&stripped), "seed {seed}");
         }
     }
 

@@ -32,7 +32,7 @@ use crate::error::SearchError;
 use crate::graph::{DiversityGraph, NodeId};
 use crate::limits::{BudgetLedger, SearchLimits};
 use crate::metrics::SearchMetrics;
-use crate::ops::{combine_alternative, combine_disjoint, combine_disjoint_in_place};
+use crate::ops::{combine_alternative_in_place, combine_disjoint, combine_disjoint_in_place};
 use crate::solution::SearchResult;
 
 /// How the root cut point of each cptree is chosen.
@@ -221,9 +221,40 @@ impl Territory {
         }
     }
 
+    /// Starts a fresh empty stamp generation (marks added via [`mark`](Territory::mark)).
+    fn begin(&mut self) {
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn mark(&mut self, v: NodeId) {
+        self.stamp[v as usize] = self.epoch;
+    }
+
     #[inline]
     fn contains(&self, v: NodeId) -> bool {
         self.stamp[v as usize] == self.epoch
+    }
+}
+
+/// Reusable scratch for cptree construction: territory membership stamps,
+/// BFS visited stamps and the BFS work stack. The cut-point selection scan
+/// calls [`sub_components`] O(|candidates|) times per territory; with the
+/// stamps reused, those calls allocate only the component vectors
+/// themselves.
+struct CpScratch {
+    membership: Territory,
+    visited: Territory,
+    stack: Vec<NodeId>,
+}
+
+impl CpScratch {
+    fn new(n: usize) -> CpScratch {
+        CpScratch {
+            membership: Territory::new(n),
+            visited: Territory::new(n),
+            stack: Vec::new(),
+        }
     }
 }
 
@@ -232,27 +263,26 @@ fn sub_components(
     g: &DiversityGraph,
     territory: &[NodeId],
     excluded: NodeId,
-    scratch: &mut Territory,
+    scratch: &mut CpScratch,
 ) -> Vec<Vec<NodeId>> {
-    scratch.set(territory);
-    let mut seen: Vec<NodeId> = Vec::new();
-    let mut visited = std::collections::HashSet::new();
-    visited.insert(excluded);
+    scratch.membership.set(territory);
+    scratch.visited.begin();
+    scratch.visited.mark(excluded);
     let mut out = Vec::new();
     for &start in territory {
-        if start == excluded || visited.contains(&start) {
+        if scratch.visited.contains(start) {
             continue;
         }
         let mut comp = vec![start];
-        visited.insert(start);
-        seen.clear();
-        seen.push(start);
-        while let Some(v) = seen.pop() {
+        scratch.visited.mark(start);
+        scratch.stack.clear();
+        scratch.stack.push(start);
+        while let Some(v) = scratch.stack.pop() {
             for &nb in g.neighbors(v) {
-                if scratch.contains(nb) && nb != excluded && !visited.contains(&nb) {
-                    visited.insert(nb);
+                if scratch.membership.contains(nb) && !scratch.visited.contains(nb) {
+                    scratch.visited.mark(nb);
                     comp.push(nb);
-                    seen.push(nb);
+                    scratch.stack.push(nb);
                 }
             }
         }
@@ -280,7 +310,7 @@ fn select_cut_point(
     candidates: &[NodeId],
     parent_cut: Option<NodeId>,
     config: &CutConfig,
-    scratch: &mut Territory,
+    scratch: &mut CpScratch,
 ) -> NodeId {
     debug_assert!(!candidates.is_empty());
     match parent_cut {
@@ -348,7 +378,7 @@ pub(crate) fn construct_cptree(
     for &c in cut_points {
         is_cp[c as usize] = true;
     }
-    let mut scratch = Territory::new(n);
+    let mut scratch = CpScratch::new(n);
     let mut arena: Vec<CpNode> = Vec::new();
 
     struct WorkItem {
@@ -526,9 +556,10 @@ fn cp_search(
                     metrics.plus_ops += 1;
                     alt = Some(match alt {
                         None => branch,
-                        Some(prev) => {
+                        Some(mut prev) => {
                             metrics.otimes_ops += 1;
-                            combine_alternative(&prev, &branch)
+                            combine_alternative_in_place(&mut prev, &branch);
+                            prev
                         }
                     });
                     if child_include {
@@ -548,9 +579,10 @@ fn cp_search(
         results[idx] = Some(pair);
     }
 
-    let [r0, r1] = results[0].take().expect("root processed last");
+    let [mut r0, r1] = results[0].take().expect("root processed last");
     metrics.otimes_ops += 1;
-    Ok(combine_alternative(&r0, &r1))
+    combine_alternative_in_place(&mut r0, &r1);
+    Ok(r0)
 }
 
 #[cfg(test)]

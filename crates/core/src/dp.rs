@@ -6,6 +6,15 @@
 //! tables are folded together with the `⊕` operator (commutative and
 //! associative, so fold order is free). The search space shrinks from
 //! exponential in `|V(G)|` to exponential in the largest component.
+//!
+//! The inner searches inherit the bitset kernel automatically: every
+//! component goes through
+//! [`induced_subgraph`](crate::graph::DiversityGraph::induced_subgraph),
+//! which relabels to a dense `0..|component|` id space and rebuilds the
+//! (component-sized) adjacency bitmap — so even a graph too large to
+//! carry a bitmap itself runs its per-component `div-astar` calls on the
+//! dense kernel (DESIGN.md §7). The fold uses the allocation-free
+//! [`combine_disjoint_in_place`] with lazily remapped witnesses.
 
 use crate::astar::{AStarConfig, div_astar_ledger};
 use crate::components::connected_components;

@@ -9,19 +9,69 @@
 //! are assigned in non-increasing score order** — `score(v_0) ≥ score(v_1) ≥
 //! …`. `astar-bound` (Algorithm 4) depends on this: walking ids upward from
 //! `e.pos + 1` visits candidates from best to worst.
+//!
+//! ## The adjacency bitmap
+//!
+//! Alongside the sorted adjacency lists, graphs of up to
+//! [`DENSE_ADJ_MAX_NODES`] nodes carry a precomputed **adjacency bitmap**:
+//! one `n / 64`-word bitset row per node, in the same word layout as
+//! [`DenseNodeSet`](crate::nodeset::DenseNodeSet) (DESIGN.md §7). This is
+//! what turns the per-edge probes of the independence checks into word
+//! operations: [`are_adjacent`](DiversityGraph::are_adjacent) becomes one
+//! bit test, and "is candidate `v` compatible with partial solution `S`"
+//! becomes a single AND-any sweep of `S`'s exclusion bitset against
+//! [`adjacency_row(v)`](DiversityGraph::adjacency_row).
+//!
+//! ```
+//! use divtopk_core::nodeset::DenseNodeSet;
+//! use divtopk_core::prelude::*;
+//!
+//! let g = DiversityGraph::paper_fig1();
+//! assert!(g.has_adjacency_bitmap());
+//!
+//! // The solution {v1} excludes exactly v1's neighbors: one word test
+//! // per candidate instead of a binary search per neighbor.
+//! let mut excluded = DenseNodeSet::new(g.len());
+//! excluded.union_with_row(g.adjacency_row(0).unwrap());
+//! assert!(excluded.contains(2)); // v1 ≈ v3
+//! assert!(!excluded.contains(1)); // v2 stays eligible
+//! ```
 
 use crate::score::Score;
 
 /// Node identifier within one [`DiversityGraph`]. Dense, `0..n`.
 pub type NodeId = u32;
 
+/// Largest node count for which the O(n²)-bit adjacency bitmap is built.
+///
+/// At 4096 nodes the bitmap costs 2 MiB — negligible next to the search —
+/// while per-query diversity graphs and the induced subgraphs the
+/// decompositions produce are practically always far below this. Larger
+/// graphs skip the bitmap (adjacency falls back to binary-searched lists)
+/// rather than risk quadratic memory on pathological inputs.
+pub const DENSE_ADJ_MAX_NODES: usize = 4096;
+
 /// An undirected graph whose nodes carry scores, sorted non-increasing.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DiversityGraph {
     scores: Vec<Score>,
     /// Sorted adjacency lists.
     adj: Vec<Vec<NodeId>>,
     edge_count: usize,
+    /// Row-major adjacency bitmap: `adj_words` words per node, bit `u` of
+    /// row `v` set iff `u ≈ v`. Empty when `n > DENSE_ADJ_MAX_NODES` or
+    /// after [`strip_adjacency_bitmap`](DiversityGraph::strip_adjacency_bitmap).
+    adj_bits: Vec<u64>,
+    /// Words per bitmap row; 0 when the bitmap is absent.
+    adj_words: usize,
+}
+
+impl PartialEq for DiversityGraph {
+    /// Structural equality on scores and adjacency; whether the adjacency
+    /// bitmap is materialized is an acceleration detail, not identity.
+    fn eq(&self, other: &Self) -> bool {
+        self.scores == other.scores && self.adj == other.adj && self.edge_count == other.edge_count
+    }
 }
 
 impl DiversityGraph {
@@ -59,10 +109,13 @@ impl DiversityGraph {
         } else {
             0
         };
+        let (adj_bits, adj_words) = build_adj_bits(&adj);
         DiversityGraph {
             scores,
             adj,
             edge_count,
+            adj_bits,
+            adj_words,
         }
     }
 
@@ -155,10 +208,50 @@ impl DiversityGraph {
         self.adj[v as usize].len()
     }
 
-    /// True iff `u ≈ v` (an edge exists).
+    /// True iff `u ≈ v` (an edge exists). One bit test when the adjacency
+    /// bitmap is present; a binary search over the sorted list otherwise.
     #[inline]
     pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u as usize].binary_search(&v).is_ok()
+        if self.adj_words > 0 {
+            let row = u as usize * self.adj_words;
+            self.adj_bits[row + (v / 64) as usize] & (1u64 << (v % 64)) != 0
+        } else {
+            self.adj[u as usize].binary_search(&v).is_ok()
+        }
+    }
+
+    /// True when the precomputed adjacency bitmap is available (graphs of
+    /// at most [`DENSE_ADJ_MAX_NODES`] nodes, unless stripped).
+    #[inline]
+    pub fn has_adjacency_bitmap(&self) -> bool {
+        self.adj_words > 0
+    }
+
+    /// Words per adjacency bitmap row (0 when the bitmap is absent).
+    #[inline]
+    pub fn adjacency_words(&self) -> usize {
+        self.adj_words
+    }
+
+    /// The bitmap row for `v`: bit `u` set iff `u ≈ v`, in
+    /// [`DenseNodeSet`](crate::nodeset::DenseNodeSet) word layout.
+    /// `None` when the bitmap is absent.
+    #[inline]
+    pub fn adjacency_row(&self, v: NodeId) -> Option<&[u64]> {
+        if self.adj_words == 0 {
+            return None;
+        }
+        let start = v as usize * self.adj_words;
+        Some(&self.adj_bits[start..start + self.adj_words])
+    }
+
+    /// Drops the adjacency bitmap, forcing the binary-search adjacency path
+    /// and the sparse search kernels. Exists for the AB5 ablation (bitset
+    /// vs sorted-vec kernel, DESIGN.md §6/§7) and for memory-constrained
+    /// callers; everything stays exact, only slower.
+    pub fn strip_adjacency_bitmap(&mut self) {
+        self.adj_bits = Vec::new();
+        self.adj_words = 0;
     }
 
     /// Iterator over all node ids, best score first.
@@ -217,11 +310,16 @@ impl DiversityGraph {
             edge_count += list.len();
             adj.push(list);
         }
+        // Subgraph ids are dense `0..keep.len()` again, so the bitmap stays
+        // valid (and small) through every decomposition/compression remap.
+        let (adj_bits, adj_words) = build_adj_bits(&adj);
         (
             DiversityGraph {
                 scores,
                 adj,
                 edge_count: edge_count / 2,
+                adj_bits,
+                adj_words,
             },
             map,
         )
@@ -259,6 +357,24 @@ impl DiversityGraph {
         ];
         DiversityGraph::from_sorted_scores(scores, edges)
     }
+}
+
+/// Packs sorted adjacency lists into a row-major bitmap, or returns an
+/// empty bitmap for graphs above [`DENSE_ADJ_MAX_NODES`].
+fn build_adj_bits(adj: &[Vec<NodeId>]) -> (Vec<u64>, usize) {
+    let n = adj.len();
+    if n == 0 || n > DENSE_ADJ_MAX_NODES {
+        return (Vec::new(), 0);
+    }
+    let words = n.div_ceil(64);
+    let mut bits = vec![0u64; words * n];
+    for (v, list) in adj.iter().enumerate() {
+        let row = &mut bits[v * words..(v + 1) * words];
+        for &nb in list {
+            row[(nb / 64) as usize] |= 1u64 << (nb % 64);
+        }
+    }
+    (bits, words)
 }
 
 #[cfg(test)]
@@ -350,5 +466,46 @@ mod tests {
         let g = DiversityGraph::paper_fig1();
         assert_eq!(g.len(), 6);
         assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn adjacency_bitmap_matches_lists() {
+        let g = crate::testgen::random_graph(90, 0.3, 11);
+        assert!(g.has_adjacency_bitmap());
+        assert_eq!(g.adjacency_words(), 2);
+        for v in g.nodes() {
+            let row = g.adjacency_row(v).unwrap();
+            let from_row: Vec<NodeId> = (0..g.len() as NodeId)
+                .filter(|&u| row[(u / 64) as usize] & (1 << (u % 64)) != 0)
+                .collect();
+            assert_eq!(from_row, g.neighbors(v), "row of {v}");
+        }
+    }
+
+    #[test]
+    fn stripped_bitmap_keeps_adjacency_answers() {
+        let mut g = DiversityGraph::paper_fig1();
+        let want: Vec<(NodeId, NodeId, bool)> = (0..6)
+            .flat_map(|u| {
+                (0..6).map(move |v| (u, v, DiversityGraph::paper_fig1().are_adjacent(u, v)))
+            })
+            .collect();
+        g.strip_adjacency_bitmap();
+        assert!(!g.has_adjacency_bitmap());
+        assert!(g.adjacency_row(0).is_none());
+        for (u, v, adj) in want {
+            assert_eq!(g.are_adjacent(u, v), adj, "{u} ≈ {v}");
+        }
+        // Equality ignores the acceleration structure.
+        assert_eq!(g, DiversityGraph::paper_fig1());
+    }
+
+    #[test]
+    fn induced_subgraph_rebuilds_bitmap() {
+        let g = DiversityGraph::paper_fig1();
+        let (sub, _) = g.induced_subgraph(&[4, 1, 5]);
+        assert!(sub.has_adjacency_bitmap());
+        assert!(sub.are_adjacent(0, 1));
+        assert!(!sub.are_adjacent(0, 2));
     }
 }

@@ -54,6 +54,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod astar;
 pub mod component_cache;
@@ -80,7 +81,9 @@ pub mod testgen;
 
 /// One-stop imports for typical users of the crate.
 pub mod prelude {
-    pub use crate::astar::{AStarConfig, div_astar, div_astar_configured, div_astar_limited};
+    pub use crate::astar::{
+        AStarConfig, KernelMode, div_astar, div_astar_configured, div_astar_limited,
+    };
     pub use crate::component_cache::ComponentCache;
     pub use crate::cut::{
         ChildHeuristic, CutConfig, RootHeuristic, div_cut, div_cut_configured, div_cut_limited,
@@ -88,11 +91,11 @@ pub mod prelude {
     pub use crate::dp::{div_dp, div_dp_limited};
     pub use crate::error::{ExhaustedResource, SearchError};
     pub use crate::framework::{DivSearchConfig, DivSearchOutput, DivTopK, ExactAlgorithm};
-    pub use crate::graph::{DiversityGraph, NodeId};
+    pub use crate::graph::{DENSE_ADJ_MAX_NODES, DiversityGraph, NodeId};
     pub use crate::greedy::{greedy, greedy_result};
     pub use crate::limits::SearchLimits;
     pub use crate::metrics::{FrameworkMetrics, SearchMetrics};
-    pub use crate::nodeset::NodeSet;
+    pub use crate::nodeset::{DenseNodeSet, NodeSet};
     pub use crate::score::Score;
     pub use crate::sim::{Similarity, ThresholdSimilarity};
     pub use crate::solution::{SearchResult, SizedSolution};

@@ -11,6 +11,32 @@
 //! Both are commutative and associative (asserted by property tests), so
 //! component/cptree results can be folded in any order (Algorithm 7 line 5,
 //! Algorithm 8 lines 10–11).
+//!
+//! ## Zero-allocation steady state
+//!
+//! `div-dp`/`div-cut` invoke these operators once per component / cptree
+//! branch — thousands of times per query on the paper's hard instances —
+//! so the in-place forms ([`combine_disjoint_in_place`],
+//! [`combine_alternative_in_place`]) are written to allocate **nothing**
+//! unless an entry actually improves: operand sizes are walked through
+//! [`SearchResult::iter`] (no side vectors), the best `j`-split per target
+//! size is chosen by score alone, and the single persistent
+//! [`NodeSet`](crate::nodeset::NodeSet) join/clone is deferred until the
+//! winning split is known (DESIGN.md §7).
+//!
+//! ```
+//! use divtopk_core::ops::combine_disjoint_in_place;
+//! use divtopk_core::prelude::*;
+//!
+//! // Fold a one-node component table into an accumulator, in place.
+//! let mut acc = SearchResult::empty(3);
+//! acc.offer(vec![0], Score::new(9.0));
+//! let mut single = SearchResult::empty(3);
+//! single.offer(vec![7], Score::new(5.0));
+//! combine_disjoint_in_place(&mut acc, &single);
+//! assert_eq!(acc.score(2), Some(Score::new(14.0))); // {0, 7}
+//! assert_eq!(acc.solution(2).unwrap().nodes(), vec![0, 7]);
+//! ```
 
 use crate::score::Score;
 use crate::solution::SearchResult;
@@ -29,19 +55,15 @@ pub fn combine_disjoint(a: &SearchResult, b: &SearchResult) -> SearchResult {
     assert_eq!(a.k(), b.k(), "operands must target the same k");
     let k = a.k();
     let mut out = SearchResult::empty(k);
-    let pa = a.present_sizes();
-    let pb = b.present_sizes();
-    for &ja in &pa {
-        let sa = a.solution(ja).expect("present");
-        for &jb in &pb {
+    for (ja, sa) in a.iter() {
+        for (jb, sb) in b.iter() {
             let i = ja + jb;
             if i > k {
-                break; // pb ascending: larger jb only overshoots further.
+                break; // iter() ascends: larger jb only overshoots further.
             }
             if i == 0 {
                 continue;
             }
-            let sb = b.solution(jb).expect("present");
             let score = sa.score() + sb.score();
             if score > out.score_or_zero(i) || out.solution(i).is_none() {
                 out.offer_set(crate::nodeset::NodeSet::join(sa.set(), sb.set()), score);
@@ -62,33 +84,40 @@ pub fn combine_disjoint(a: &SearchResult, b: &SearchResult) -> SearchResult {
 pub fn combine_disjoint_in_place(acc: &mut SearchResult, b: &SearchResult) {
     assert_eq!(acc.k(), b.k(), "operands must target the same k");
     let k = acc.k();
-    let pb: Vec<usize> = b.present_sizes().into_iter().filter(|&j| j > 0).collect();
-    if pb.is_empty() {
+    if b.iter().all(|(j, _)| j == 0) {
         return;
     }
     // Descending target size: reads at `i - j` see pre-update values, so
     // exactly one entry of `b` is applied per target (Algorithm 5's j-split).
     for i in (1..=k).rev() {
-        let mut best: Option<(Score, crate::nodeset::NodeSet)> = None;
-        for &j in &pb {
+        // First pass picks the winning j-split by score alone; the O(1)
+        // persistent join is deferred until the winner is known, so target
+        // sizes that don't improve allocate nothing.
+        let mut best: Option<(Score, usize)> = None;
+        for (j, sb) in b.iter() {
+            if j == 0 {
+                continue;
+            }
             if j > i {
-                break; // pb ascending
+                break; // iter() ascends: larger j only overshoots further.
             }
             let Some(sa) = acc.solution(i - j) else {
                 continue;
             };
-            let sb = b.solution(j).expect("present");
             let score = sa.score() + sb.score();
             let improves_acc = score > acc.score_or_zero(i) || acc.solution(i).is_none();
-            let improves_best = match &best {
-                Some((s, _)) => score > *s,
+            let improves_best = match best {
+                Some((s, _)) => score > s,
                 None => true,
             };
             if improves_acc && improves_best {
-                best = Some((score, crate::nodeset::NodeSet::join(sa.set(), sb.set())));
+                best = Some((score, j));
             }
         }
-        if let Some((score, set)) = best {
+        if let Some((score, j)) = best {
+            let sa = acc.solution(i - j).expect("chosen above");
+            let sb = b.solution(j).expect("chosen above");
+            let set = crate::nodeset::NodeSet::join(sa.set(), sb.set());
             acc.offer_set(set, score);
         }
     }
@@ -111,6 +140,25 @@ pub fn combine_alternative(a: &SearchResult, b: &SearchResult) -> SearchResult {
         }
     }
     out
+}
+
+/// `acc ← acc ⊗ b`, in place — the fold-optimized form of Algorithm 6.
+///
+/// Equivalent to `acc = combine_alternative(&acc, &b)` (property-tested)
+/// without rebuilding the table: entries of `b` that don't beat `acc`'s are
+/// skipped outright, and winning entries are adopted by an O(1) persistent
+/// clone. `cp-search` folds the per-branch tables of every cptree child
+/// through this, so the `⊗` chain allocates nothing in steady state.
+pub fn combine_alternative_in_place(acc: &mut SearchResult, b: &SearchResult) {
+    assert_eq!(acc.k(), b.k(), "operands must target the same k");
+    for (i, sb) in b.iter() {
+        if i == 0 {
+            continue;
+        }
+        if acc.score(i).is_none_or(|s| sb.score() > s) {
+            acc.offer_set(sb.set().clone(), sb.score());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +283,42 @@ mod tests {
         let mut acc = a.clone();
         combine_disjoint_in_place(&mut acc, &SearchResult::empty(4));
         assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn alternative_in_place_matches_functional() {
+        use crate::rng::Pcg;
+        for seed in 0..100 {
+            let mut rng = Pcg::new(900 + seed);
+            let k = 1 + rng.below(7) as usize;
+            let make = |rng: &mut Pcg, base: u32, k: usize| {
+                let mut t = SearchResult::empty(k);
+                let mut nodes = Vec::new();
+                let mut score = Score::ZERO;
+                for i in 0..k {
+                    nodes.push(base + i as u32);
+                    score += Score::from(rng.range(1, 100));
+                    if rng.chance(0.5) {
+                        t.offer(nodes.clone(), score);
+                    }
+                }
+                t
+            };
+            let a = make(&mut rng, 0, k);
+            let b = make(&mut rng, 0, k);
+            let functional = combine_alternative(&a, &b);
+            let mut in_place = a.clone();
+            combine_alternative_in_place(&mut in_place, &b);
+            assert_eq!(in_place, functional, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alternative_in_place_prefers_acc_on_ties() {
+        let a = table(2, &[(&[0], 5)]);
+        let b = table(2, &[(&[9], 5)]);
+        let mut acc = a.clone();
+        combine_alternative_in_place(&mut acc, &b);
+        assert_eq!(acc.solution(1).unwrap().nodes(), vec![0]);
     }
 }

@@ -158,6 +158,23 @@ impl SearchResult {
         }
     }
 
+    /// Offers the solution `base ∪ {extra}` (with `extra > max(base)`,
+    /// `base` sorted) without materializing it first: the node vector is
+    /// only allocated when the entry actually improves the table. This is
+    /// the `div-astar` expansion loop's offer path — in steady state
+    /// (child doesn't beat the incumbent of its size) it allocates nothing.
+    pub fn offer_extended(&mut self, base: &[NodeId], extra: NodeId, score: Score) {
+        let len = base.len() + 1;
+        if len > self.k || !self.beats_current(len, score) {
+            return;
+        }
+        debug_assert!(base.last().is_none_or(|&last| last < extra));
+        let mut nodes = Vec::with_capacity(len);
+        nodes.extend_from_slice(base);
+        nodes.push(extra);
+        self.entries[len] = Some(SizedSolution::new(nodes, score));
+    }
+
     #[inline]
     fn beats_current(&self, len: usize, score: Score) -> bool {
         match &self.entries[len] {
@@ -374,6 +391,21 @@ mod tests {
         let mut r = SearchResult::empty(2);
         r.offer(vec![0, 2], s(17)); // v1 ≈ v3
         r.assert_well_formed(Some(&g));
+    }
+
+    #[test]
+    fn offer_extended_matches_offer() {
+        let mut a = SearchResult::empty(3);
+        let mut b = SearchResult::empty(3);
+        a.offer(vec![1, 4, 9], s(12));
+        b.offer_extended(&[1, 4], 9, s(12));
+        assert_eq!(a, b);
+        // A losing offer leaves the table untouched.
+        b.offer_extended(&[0, 2], 5, s(11));
+        assert_eq!(a, b);
+        // Oversize offers are ignored.
+        b.offer_extended(&[0, 1, 2], 5, s(99));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -123,6 +123,89 @@ proptest! {
     }
 }
 
+// ---------- the bitset kernel (DESIGN.md §7) ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `DenseNodeSet` and the persistent sorted-vec `NodeSet` agree on
+    /// union / extend / len / to_sorted_vec across random op sequences.
+    #[test]
+    fn dense_and_persistent_nodesets_agree(seed in 0u64..1_000_000) {
+        const UNIVERSE: usize = 300;
+        let mut rng = divtopk::core::rng::Pcg::new(seed);
+        let mut unused: Vec<u32> = (0..UNIVERSE as u32).collect();
+        rng.shuffle(&mut unused);
+        let mut persistent = NodeSet::empty();
+        let mut dense = DenseNodeSet::new(UNIVERSE);
+        for _ in 0..(1 + rng.below(40)) {
+            if unused.is_empty() {
+                break;
+            }
+            if rng.chance(0.6) {
+                // Extend with one fresh node.
+                let v = unused.pop().unwrap();
+                persistent = NodeSet::extend(&persistent, v);
+                prop_assert!(dense.insert(v));
+            } else {
+                // Union with a disjoint batch of fresh nodes.
+                let take = (1 + rng.below(8) as usize).min(unused.len());
+                let batch: Vec<u32> = unused.split_off(unused.len() - take);
+                persistent = NodeSet::join(&persistent, &NodeSet::from_vec(batch.clone()));
+                dense.union_with(&DenseNodeSet::from_nodes(UNIVERSE, batch));
+            }
+            prop_assert_eq!(persistent.len(), dense.len());
+            prop_assert_eq!(persistent.to_sorted_vec(), dense.to_sorted_vec());
+        }
+    }
+
+    /// Disjointness answered by word ops matches the sorted-vec answer.
+    #[test]
+    fn dense_disjointness_matches_sorted_vec(seed in 0u64..1_000_000) {
+        const UNIVERSE: usize = 200;
+        let mut rng = divtopk::core::rng::Pcg::new(seed ^ 0xD15);
+        let pick = |rng: &mut divtopk::core::rng::Pcg| -> Vec<u32> {
+            (0..UNIVERSE as u32).filter(|_| rng.chance(0.05)).collect()
+        };
+        let a = pick(&mut rng);
+        let b = pick(&mut rng);
+        let da = DenseNodeSet::from_nodes(UNIVERSE, a.iter().copied());
+        let db = DenseNodeSet::from_nodes(UNIVERSE, b.iter().copied());
+        let expect = !a.iter().any(|v| b.contains(v));
+        prop_assert_eq!(da.is_disjoint(&db), expect);
+        prop_assert_eq!(db.is_disjoint(&da), expect);
+    }
+
+    /// Post-kernel, every `div-astar` kernel mode (bitset, sorted-vec
+    /// stamp, auto — and bitset without an adjacency bitmap) still matches
+    /// the exhaustive oracle, and the three algorithms agree end to end.
+    #[test]
+    fn kernel_modes_match_oracle(g in graph_strategy(12), k in 1usize..10) {
+        let want = exhaustive(&g, k);
+        let mut stripped = g.clone();
+        stripped.strip_adjacency_bitmap();
+        let cases: [(&str, &DiversityGraph, KernelMode); 4] = [
+            ("auto", &g, KernelMode::Auto),
+            ("bitset", &g, KernelMode::Dense),
+            ("sorted-vec", &g, KernelMode::Sparse),
+            ("bitset/no-bitmap", &stripped, KernelMode::Dense),
+        ];
+        for (name, graph, kernel) in cases {
+            let config = AStarConfig { kernel, ..AStarConfig::new() };
+            let (got, _) =
+                div_astar_configured(graph, k, &config, &SearchLimits::unlimited()).unwrap();
+            got.assert_well_formed(Some(&g));
+            for i in 0..=k {
+                prop_assert_eq!(
+                    got.prefix_best_score(i),
+                    want.prefix_best_score(i),
+                    "{} at size {}", name, i
+                );
+            }
+        }
+    }
+}
+
 // ---------- operator laws ----------
 
 proptest! {
