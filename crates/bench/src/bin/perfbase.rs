@@ -1,29 +1,40 @@
 //! `perfbase` — the reproducible performance baseline behind `BENCH_*.json`.
 //!
-//! Runs pinned suites (planted-cluster graphs, a path graph, and synthetic
-//! enwiki/reuters corpora queries) through the exact algorithms and emits
-//! one machine-readable JSON file with wall time and allocator peak per
-//! cell, so every PR leaves a comparable trajectory point (DESIGN.md §7).
-//! The `div-astar` cells run under **both** kernels — `bitset` (this PR's
-//! dense kernel) and `sorted-vec` (the pre-kernel stamp path kept runnable
-//! as ablation AB5) — and the summary reports the median speedup between
-//! them.
+//! Runs pinned suites (planted-cluster graphs, a path graph, synthetic
+//! enwiki/reuters corpora queries, and the serving-engine batch-throughput
+//! trace) through the exact algorithms and emits one machine-readable JSON
+//! file with wall time and allocator peak per cell, so every PR leaves a
+//! comparable trajectory point (DESIGN.md §7–§8). The `div-astar` cells
+//! run under **both** kernels — `bitset` and `sorted-vec` (ablation AB5) —
+//! and the summary reports the median speedup between them.
+//!
+//! The **serving throughput** suite replays a fixed Zipf-repeating query
+//! trace (head queries repeat, as in real search traffic) against the
+//! sharded [`Engine`] at 1/2/4/8 shards and against the naive baseline
+//! (one uncached `DiversifiedSearcher` call per query): queries/sec per
+//! configuration, plus the engine-vs-baseline speedup and the cache hit
+//! rate, land in the summary. Worker-thread count and trace shape are
+//! recorded so the numbers are interpretable on any machine (on a 1-CPU
+//! container the gain is the result cache + the tighter merged TA bound;
+//! on multicore the batch pool adds parallel speedup on top).
 //!
 //! ```text
-//! cargo run --release -p divtopk-bench --bin perfbase              # full → BENCH_2.json
+//! cargo run --release -p divtopk-bench --bin perfbase              # full → BENCH_3.json
 //! cargo run --release -p divtopk-bench --bin perfbase -- --smoke   # tiny CI variant
 //! cargo run --release -p divtopk-bench --bin perfbase -- --out target/BENCH.json --runs 7
 //! ```
 //!
 //! The binary validates its own output (strict JSON well-formedness and a
 //! non-empty cell list) and exits non-zero on any inconsistency, including
-//! a best-score disagreement between the two kernels on the same cell —
+//! a best-score disagreement between the two kernels on the same cell and
+//! any sharded-vs-unsharded answer disagreement in the throughput suite —
 //! the measurement run doubles as an oracle-equivalence check.
 
 use divtopk_bench::{Measurement, PeakAlloc, json, measure};
 use divtopk_core::astar::{AStarConfig, KernelMode, div_astar_configured};
 use divtopk_core::prelude::*;
 use divtopk_core::testgen::{self, ClusterConfig};
+use divtopk_engine::prelude::*;
 use divtopk_text::prelude::*;
 use std::time::Duration;
 
@@ -261,6 +272,235 @@ fn synth_cell(
     })
 }
 
+/// Outcome of the serving-throughput suite, for the JSON summary.
+struct ThroughputReport {
+    qps_baseline: f64,
+    qps_by_shards: Vec<(usize, f64)>,
+    cache_hit_rate_4_shards: f64,
+    distinct_queries: usize,
+    total_queries: usize,
+    threads: usize,
+}
+
+/// The serving-engine batch-throughput suite (DESIGN.md §8): replays a
+/// fixed Zipf-repeating trace against the engine at several shard counts
+/// and against the naive per-query searcher baseline. Asserts — run by
+/// run, query by query — that sharded and unsharded optima agree.
+fn serving_throughput_suite(
+    cells: &mut Vec<Cell>,
+    smoke: bool,
+    runs: usize,
+    budget: Duration,
+) -> Option<ThroughputReport> {
+    let docs = if smoke { 400 } else { 4000 };
+    let (n_distinct, n_total, k) = if smoke {
+        (5usize, 24usize, 6usize)
+    } else {
+        (10, 96, 10)
+    };
+    let corpus = generate(&SynthConfig::reuters_like().with_num_docs(docs));
+    let index = InvertedIndex::build(&corpus);
+    let searcher = DiversifiedSearcher::new(&corpus, &index);
+    let limits = SearchLimits {
+        time_budget: Some(budget),
+        max_bytes: Some(1 << 30),
+        ..SearchLimits::default()
+    };
+    let options = SearchOptions::new(k)
+        .with_tau(0.6)
+        .with_limits(limits)
+        .with_bound_decay(0.005);
+
+    // Distinct queries: alternating single-keyword scans and 2-keyword TA
+    // queries across the low kfreq bands.
+    let mut distinct: Vec<Query> = Vec::new();
+    let mut seed = QUERY_SEED;
+    while distinct.len() < n_distinct {
+        seed += 1;
+        let band = 1 + (seed % 3) as u8;
+        let terms = if distinct.len() % 2 == 0 { 1 } else { 2 };
+        let Some(q) = query_for_band(&corpus, band, terms, seed) else {
+            continue;
+        };
+        let query = if q.terms.len() == 1 {
+            Query::Scan(q.terms[0])
+        } else {
+            Query::Keywords(q)
+        };
+        if !distinct.contains(&query) {
+            distinct.push(query);
+        }
+        if seed > QUERY_SEED + 10_000 {
+            eprintln!("[serving_throughput] could not assemble {n_distinct} queries");
+            return None;
+        }
+    }
+
+    // Zipf-repeating trace: rank r drawn with weight 1/(r+1).
+    let mut rng = divtopk_core::rng::Pcg::new(QUERY_SEED);
+    let cdf: Vec<f64> = distinct
+        .iter()
+        .enumerate()
+        .scan(0.0, |acc, (r, _)| {
+            *acc += 1.0 / (r + 1) as f64;
+            Some(*acc)
+        })
+        .collect();
+    let trace: Vec<(Query, SearchOptions)> = (0..n_total)
+        .map(|_| (distinct[rng.sample_cdf(&cdf)].clone(), options.clone()))
+        .collect();
+
+    // Reference answers once, from the unsharded searcher.
+    let reference: Vec<SearchOutput> = distinct
+        .iter()
+        .map(|q| match q {
+            Query::Scan(t) => searcher.search_scan(*t, &options).expect("baseline query"),
+            Query::Keywords(kq) => searcher.search_ta(kq, &options).expect("baseline query"),
+        })
+        .collect();
+    let score_sum: f64 = reference.iter().map(|o| o.total_score.get()).sum();
+
+    // Baseline: the pre-engine serving shape — one uncached searcher call
+    // per trace query, sequential.
+    let mut wall_ns_runs = Vec::with_capacity(runs);
+    let mut peak = 0usize;
+    for _ in 0..runs {
+        let (m, ok) = measure(|| {
+            Some(
+                trace
+                    .iter()
+                    .filter(|(q, opt)| {
+                        let out = match q {
+                            Query::Scan(t) => searcher.search_scan(*t, opt),
+                            Query::Keywords(kq) => searcher.search_ta(kq, opt),
+                        };
+                        out.is_ok()
+                    })
+                    .count(),
+            )
+        });
+        let Measurement::Done { time, peak_bytes } = m else {
+            unreachable!("closure always returns Some");
+        };
+        assert_eq!(ok, Some(trace.len()), "baseline query failed");
+        wall_ns_runs.push(time.as_nanos());
+        peak = peak.max(peak_bytes);
+    }
+    let baseline_wall = median(&mut wall_ns_runs.clone());
+    cells.push(Cell {
+        suite: "serving_throughput",
+        algo: "searcher-sequential",
+        kernel: "unsharded",
+        seed: 0,
+        n: docs,
+        edges: n_total,
+        k,
+        wall_ns_runs,
+        wall_ns: baseline_wall,
+        peak_bytes: peak,
+        score: Some(score_sum),
+    });
+    let qps_baseline = n_total as f64 / (baseline_wall as f64 / 1e9);
+    eprintln!("[serving_throughput] baseline {qps_baseline:.1} q/s");
+
+    // Engine at 1/2/4/8 shards: batch on the scoped pool, cold cache per
+    // run (fresh engine), correctness asserted against the reference.
+    let mut qps_by_shards = Vec::new();
+    let mut cache_hit_rate_4_shards = 0.0;
+    let mut threads = 1;
+    for (shards, label) in [
+        (1usize, "shards-1"),
+        (2, "shards-2"),
+        (4, "shards-4"),
+        (8, "shards-8"),
+    ] {
+        // Sharded answers must agree with the unsharded searcher — byte-
+        // identical for scans, equal optima for TA. A pure function of
+        // (corpus, shards), so checked once per shard config, outside the
+        // timing loop.
+        {
+            let engine = Engine::new(corpus.clone(), EngineConfig::new(shards));
+            threads = engine.threads();
+            for (query, want) in distinct.iter().zip(&reference) {
+                let got = engine.search(query, &options).expect("engine query");
+                match query {
+                    Query::Scan(_) => assert_eq!(
+                        want, &got,
+                        "sharded scan diverged from unsharded at {shards} shards"
+                    ),
+                    Query::Keywords(_) => assert!(
+                        got.total_score.approx_eq(want.total_score, 1e-9),
+                        "sharded TA optimum diverged at {shards} shards: {} vs {}",
+                        got.total_score,
+                        want.total_score
+                    ),
+                }
+            }
+        }
+        let mut wall_ns_runs = Vec::with_capacity(runs);
+        let mut peak = 0usize;
+        let mut hit_rate = 0.0;
+        for _ in 0..runs {
+            // Throughput measured on a fresh engine (cold cache).
+            let engine = Engine::new(corpus.clone(), EngineConfig::new(shards));
+            let (m, ok) = measure(|| {
+                Some(
+                    engine
+                        .search_batch(&trace)
+                        .iter()
+                        .filter(|r| r.is_ok())
+                        .count(),
+                )
+            });
+            let Measurement::Done { time, peak_bytes } = m else {
+                unreachable!("closure always returns Some");
+            };
+            assert_eq!(
+                ok,
+                Some(trace.len()),
+                "engine query failed at {shards} shards"
+            );
+            wall_ns_runs.push(time.as_nanos());
+            peak = peak.max(peak_bytes);
+            let stats = engine.stats();
+            hit_rate =
+                stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64;
+        }
+        let wall = median(&mut wall_ns_runs.clone());
+        let qps = n_total as f64 / (wall as f64 / 1e9);
+        eprintln!(
+            "[serving_throughput] {label}: {qps:.1} q/s (cache hit rate {:.0}%)",
+            hit_rate * 100.0
+        );
+        if shards == 4 {
+            cache_hit_rate_4_shards = hit_rate;
+        }
+        qps_by_shards.push((shards, qps));
+        cells.push(Cell {
+            suite: "serving_throughput",
+            algo: "engine-batch",
+            kernel: label,
+            seed: shards as u64,
+            n: docs,
+            edges: n_total,
+            k,
+            wall_ns_runs,
+            wall_ns: wall,
+            peak_bytes: peak,
+            score: Some(score_sum),
+        });
+    }
+
+    Some(ThroughputReport {
+        qps_baseline,
+        qps_by_shards,
+        cache_hit_rate_4_shards,
+        distinct_queries: n_distinct,
+        total_queries: n_total,
+        threads,
+    })
+}
+
 /// The pinned dense near-duplicate configuration behind the headline AB5
 /// speedup number (dense clusters ≈ near-dup chains; see DESIGN.md §3).
 /// Few large, very dense clusters: independence checks dominate the
@@ -286,7 +526,7 @@ fn dense_neardup_config(smoke: bool) -> ClusterConfig {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_3.json");
     let mut smoke = false;
     let mut runs_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -442,6 +682,10 @@ fn main() {
         }
     }
 
+    // Suite 5: serving-engine batch throughput vs shard count, plus the
+    // naive uncached searcher baseline (DESIGN.md §8).
+    let throughput = serving_throughput_suite(&mut cells, smoke, runs, budget);
+
     // Kernel oracle check: within a (suite, seed), the bitset and
     // sorted-vec div-astar cells must find the same best score.
     for suite in ["planted_default", "planted_dense_neardup"] {
@@ -503,12 +747,50 @@ fn main() {
         }
     }
 
+    if let Some(report) = &throughput {
+        summary_lines.push(format!(
+            "\"throughput_qps_baseline\": {:.3}",
+            report.qps_baseline
+        ));
+        for (shards, qps) in &report.qps_by_shards {
+            summary_lines.push(format!("\"throughput_qps_shards_{shards}\": {qps:.3}"));
+        }
+        let qps4 = report
+            .qps_by_shards
+            .iter()
+            .find(|(s, _)| *s == 4)
+            .map(|(_, q)| *q)
+            .unwrap_or(0.0);
+        let speedup = qps4 / report.qps_baseline;
+        summary_lines.push(format!(
+            "\"throughput_speedup_4_shards_vs_baseline\": {speedup:.3}"
+        ));
+        summary_lines.push(format!(
+            "\"throughput_cache_hit_rate_4_shards\": {:.4}",
+            report.cache_hit_rate_4_shards
+        ));
+        summary_lines.push(format!(
+            "\"throughput_distinct_queries\": {}",
+            report.distinct_queries
+        ));
+        summary_lines.push(format!(
+            "\"throughput_total_queries\": {}",
+            report.total_queries
+        ));
+        summary_lines.push(format!("\"throughput_threads\": {}", report.threads));
+        eprintln!(
+            "[summary] serving throughput: engine@4 shards {speedup:.2}x vs naive baseline \
+             ({:.1} vs {:.1} q/s)",
+            qps4, report.qps_baseline
+        );
+    }
+
     let cell_json: Vec<String> = cells
         .iter()
         .map(|c| format!("    {}", c.to_json()))
         .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 2,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
+        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 3,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
         cell_json.join(",\n"),
         summary_lines.join(", "),
     );

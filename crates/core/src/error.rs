@@ -3,7 +3,10 @@
 use std::fmt;
 
 /// Why a search could not be completed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`PartialEq` only — [`SearchError::InvalidTau`] carries the rejected
+/// `f64`, which has no total equality.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum SearchError {
     /// A configured resource budget was exhausted before the exact answer
     /// was found. This is the library analogue of the paper's `INF` entries
@@ -14,6 +17,21 @@ pub enum SearchError {
     InvalidK {
         /// The rejected `k` value as supplied by the caller.
         k: usize,
+    },
+    /// The requested similarity threshold is not a number in `[0, 1]`.
+    /// Rejected at admission: a NaN or out-of-range `τ` silently corrupts
+    /// every `sim(a, b) > τ` comparison downstream (NaN compares false, so
+    /// *nothing* is ever similar and near-duplicates sail through).
+    InvalidTau {
+        /// The rejected `τ` value as supplied by the caller (may be NaN).
+        tau: f64,
+    },
+    /// A query referenced a term id outside the index vocabulary.
+    /// Rejected at admission — malformed client input must surface as a
+    /// typed error, not an out-of-bounds panic inside a serving worker.
+    UnknownTerm {
+        /// The rejected term id.
+        term: u32,
     },
 }
 
@@ -37,6 +55,15 @@ impl fmt::Display for SearchError {
                 write!(f, "search aborted: resource budget exhausted ({r:?})")
             }
             SearchError::InvalidK { k } => write!(f, "invalid k: {k}"),
+            SearchError::InvalidTau { tau } => {
+                write!(
+                    f,
+                    "invalid similarity threshold τ: {tau} (must be in [0, 1])"
+                )
+            }
+            SearchError::UnknownTerm { term } => {
+                write!(f, "unknown term id: {term} (outside the index vocabulary)")
+            }
         }
     }
 }

@@ -69,6 +69,7 @@ pub mod framework;
 pub mod graph;
 pub mod greedy;
 pub mod limits;
+pub mod merge;
 pub mod metrics;
 pub mod nodeset;
 pub mod ops;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::graph::{DENSE_ADJ_MAX_NODES, DiversityGraph, NodeId};
     pub use crate::greedy::{greedy, greedy_result};
     pub use crate::limits::SearchLimits;
+    pub use crate::merge::MergedSource;
     pub use crate::metrics::{FrameworkMetrics, SearchMetrics};
     pub use crate::nodeset::{DenseNodeSet, NodeSet};
     pub use crate::score::Score;

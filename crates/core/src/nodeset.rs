@@ -128,7 +128,14 @@ impl DenseNodeSet {
         let bit = 1u64 << (v % 64);
         let fresh = *word & bit == 0;
         *word |= bit;
-        self.len += fresh as u32;
+        // Deliberately a branch, not `len += fresh as u32`: rustc 1.95.0
+        // (LLVM, opt-level ≥ 2) miscompiles the branchless form when this
+        // method is inlined into a larger loop — the increment is dropped
+        // and `len` goes stale (caught by `tests/properties.rs::
+        // dense_and_persistent_nodesets_agree` in release builds).
+        if fresh {
+            self.len += 1;
+        }
         fresh
     }
 
@@ -142,7 +149,11 @@ impl DenseNodeSet {
         let bit = 1u64 << (v % 64);
         let present = *word & bit != 0;
         *word &= !bit;
-        self.len -= present as u32;
+        // Branch on purpose — see `insert` for the rustc 1.95.0 codegen
+        // bug the branchless `len -= present as u32` form runs into.
+        if present {
+            self.len -= 1;
+        }
         present
     }
 

@@ -29,6 +29,27 @@ impl<T> Scored<T> {
     }
 }
 
+impl<T: Eq> Eq for Scored<T> {}
+
+/// Deterministic total order for orderable items: by score, then by item.
+///
+/// Score ties are broken by the item itself, never by arrival order — this
+/// is what makes heaps and sorts over results reproducible across runs and
+/// across shard layouts (see [`crate::merge`]).
+impl<T: Ord> Ord for Scored<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .cmp(&other.score)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+impl<T: Ord> PartialOrd for Scored<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Upper bound on the scores of all results a source has not yet returned.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UnseenBound {
@@ -154,6 +175,36 @@ mod tests {
 
     fn s(v: u32) -> Score {
         Score::from(v)
+    }
+
+    /// The serving engine fans sources out across worker threads; the
+    /// built-in sources (and the types they are made of) must stay `Send`.
+    #[test]
+    fn built_in_sources_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Scored<u32>>();
+        assert_send::<UnseenBound>();
+        assert_send::<IncrementalVecSource<u32>>();
+        assert_send::<BoundingVecSource<u32>>();
+        assert_send::<crate::merge::MergedSource<IncrementalVecSource<u32>>>();
+    }
+
+    #[test]
+    fn scored_ordering_breaks_ties_by_item() {
+        let mut v = vec![
+            Scored::new(3u32, s(5)),
+            Scored::new(1, s(5)),
+            Scored::new(2, s(7)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Scored::new(1, s(5)),
+                Scored::new(3, s(5)),
+                Scored::new(2, s(7)),
+            ]
+        );
     }
 
     #[test]

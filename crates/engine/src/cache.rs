@@ -1,0 +1,265 @@
+//! A capacity-bounded LRU cache with hit/miss/eviction counters.
+//!
+//! Dependency-free (the container is offline): a slab of entries threaded
+//! into an intrusive doubly-linked recency list, plus a `HashMap` from key
+//! to slab slot. All operations are O(1) expected. The counters feed the
+//! engine's [`crate::engine::EngineStats`] — production serving needs its
+//! hit rate observable, not guessed.
+//!
+//! A capacity of `0` disables caching entirely (every lookup is a miss,
+//! inserts are dropped); the throughput suite uses that to measure the
+//! uncached path.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+/// Counters describing cache effectiveness ([`FrameworkMetrics`]-style:
+/// plain `Copy` data, absorbed into engine-level stats).
+///
+/// [`FrameworkMetrics`]: divtopk_core::FrameworkMetrics
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to make room at capacity.
+    pub evictions: u64,
+    /// Entries ever inserted.
+    pub insertions: u64,
+}
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// The LRU cache (see module docs).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (next eviction victim).
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (0 disables).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts the lookup.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.stats.hits += 1;
+                self.unlink(i);
+                self.link_front(i);
+                Some(&self.slab[i].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key → value`, evicting the least recently
+    /// used entry when at capacity. No-op when the capacity is 0.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.link_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 but no tail");
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.link_front(slot);
+        self.stats.insertions += 1;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut cache: LruCache<u32, &str> = LruCache::new(2);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, "one");
+        cache.insert(2, "two");
+        assert_eq!(cache.get(&1), Some(&"one")); // 1 is now MRU
+        cache.insert(3, "three"); // evicts 2 (LRU), not 1
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.get(&3), Some(&"three"));
+        let s = cache.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn replacement_refreshes_value_and_recency() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // replace, 1 becomes MRU
+        cache.insert(3, 30); // evicts 2
+        assert_eq!(cache.get(&1), Some(&11));
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(0);
+        cache.insert(1, 10);
+        assert!(cache.get(&1).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().insertions, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_one_churns_correctly() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..10 {
+            cache.insert(i, i * 2);
+            assert_eq!(cache.get(&i), Some(&(i * 2)));
+            assert_eq!(cache.len(), 1);
+        }
+        assert_eq!(cache.stats().evictions, 9);
+    }
+
+    /// Randomized equivalence against a naive reference implementation.
+    #[test]
+    fn matches_naive_reference_model() {
+        use divtopk_core::rng::Pcg;
+        let mut rng = Pcg::new(99);
+        for capacity in [1usize, 2, 3, 7] {
+            let mut cache: LruCache<u32, u32> = LruCache::new(capacity);
+            // Reference: vec of (key, value), front = MRU.
+            let mut model: Vec<(u32, u32)> = Vec::new();
+            for step in 0..2000u32 {
+                let key = rng.below(10);
+                if rng.chance(0.5) {
+                    let got = cache.get(&key).copied();
+                    let want = model.iter().position(|&(k, _)| k == key).map(|i| {
+                        let entry = model.remove(i);
+                        model.insert(0, entry);
+                        entry.1
+                    });
+                    assert_eq!(got, want, "cap {capacity} step {step} get({key})");
+                } else {
+                    let value = step;
+                    cache.insert(key, value);
+                    if let Some(i) = model.iter().position(|&(k, _)| k == key) {
+                        model.remove(i);
+                    } else if model.len() >= capacity {
+                        model.pop();
+                    }
+                    model.insert(0, (key, value));
+                }
+                assert_eq!(cache.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The serving engine: admission → cache → sharded merged search.
+//!
+//! [`Engine`] owns a [`ShardedCorpus`] and serves diversified top-k
+//! queries through the exact same [`divtopk_text::search::search_with_source`]
+//! path as the single-machine [`divtopk_text::DiversifiedSearcher`], with a
+//! [`MergedSource`] recombining one per-shard source per query:
+//!
+//! * single-keyword queries merge per-shard posting-list scans in
+//!   **incremental** mode — the merged emission order and bound sequence
+//!   are *identical* to the unsharded scan's, so the whole framework run
+//!   (hits, metrics, early-stop point) is bit-for-bit reproduced;
+//! * multi-keyword queries merge per-shard threshold algorithms in
+//!   **bounding** mode — `max` of per-shard thresholds, which is never
+//!   looser than needed (and often tighter than the global threshold,
+//!   since one shard's lists decay independently of another's).
+//!
+//! Admission validates [`SearchOptions`] once (`k ≥ 1`, `τ ∈ [0, 1]`,
+//! satellite bugfixes of this PR) before any shard is touched. Results are
+//! cached in an [`LruCache`] keyed on the *normalized* query (sorted,
+//! deduplicated terms), `k`, `τ` quantized to 1e-9, and the algorithm
+//! configuration fingerprint — so `"b a"` and `"a b"` at an equal τ share
+//! an entry, and the DisC-style "many (k, τ) operating points" workload
+//! pays for each point once.
+//!
+//! Batches run on a scoped `std::thread` pool (no external dependencies):
+//! workers claim queries off an atomic cursor, so a slow query never
+//! convoys the rest of the batch behind it.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::shard::ShardedCorpus;
+use divtopk_core::{MergedSource, SearchError};
+use divtopk_text::corpus::Corpus;
+use divtopk_text::document::TermId;
+use divtopk_text::query::KeywordQuery;
+use divtopk_text::search::{SearchOptions, SearchOutput, search_with_source, validate_terms};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Engine deployment configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of corpus shards (≥ 1).
+    pub shards: usize,
+    /// LRU result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Worker threads for [`Engine::search_batch`]; 0 means "one per
+    /// available CPU" (`std::thread::available_parallelism`).
+    pub threads: usize,
+}
+
+impl EngineConfig {
+    /// A configuration with `shards` shards, a 4096-entry cache, and
+    /// auto-sized batch workers.
+    pub fn new(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            cache_capacity: 4096,
+            threads: 0,
+        }
+    }
+
+    /// Overrides the result-cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> EngineConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the batch worker-thread count (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    /// One shard, 4096-entry cache, auto-sized workers.
+    fn default() -> EngineConfig {
+        EngineConfig::new(1)
+    }
+}
+
+/// One query for the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Single-keyword query served by merged posting-list scans
+    /// (incremental framework).
+    Scan(TermId),
+    /// Multi-keyword query served by merged threshold algorithms
+    /// (bounding framework).
+    Keywords(KeywordQuery),
+}
+
+/// Normalized cache key: `(query, k, τ quantized, algorithm fingerprint)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    query: QueryKey,
+    k: usize,
+    /// `τ` quantized to 1e-9 steps — float keys need a stable identity,
+    /// and operating points closer than 1e-9 in τ are indistinguishable
+    /// for any realistic similarity function.
+    tau_q: u64,
+    /// `Debug` fingerprint of (algorithm, limits, bound decay): every
+    /// knob that can change the output (including its metrics) must key
+    /// the cache, or "bit-identical cache hits" would be a lie.
+    algo: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum QueryKey {
+    Scan(TermId),
+    /// Sorted, deduplicated terms.
+    Keywords(Vec<TermId>),
+}
+
+impl CacheKey {
+    fn new(query: &Query, options: &SearchOptions) -> CacheKey {
+        let query = match query {
+            Query::Scan(term) => QueryKey::Scan(*term),
+            Query::Keywords(q) => {
+                let mut terms = q.terms.clone();
+                terms.sort_unstable();
+                terms.dedup();
+                QueryKey::Keywords(terms)
+            }
+        };
+        CacheKey {
+            query,
+            k: options.k,
+            tau_q: (options.tau * 1e9).round() as u64,
+            algo: format!(
+                "{:?}|{:?}|{}",
+                options.algorithm, options.limits, options.bound_decay
+            ),
+        }
+    }
+}
+
+/// Aggregate serving counters ([`divtopk_core::FrameworkMetrics`]-style:
+/// plain `Copy` data, snapshotted by [`Engine::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries admitted (cache hits included; rejected options excluded).
+    pub queries: u64,
+    /// Queries rejected at admission ([`SearchOptions::validate`]).
+    pub rejected: u64,
+    /// Batches executed via [`Engine::search_batch`].
+    pub batches: u64,
+    /// Result-cache lookups that hit.
+    pub cache_hits: u64,
+    /// Result-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Results computed and stored (single-flighted: W concurrent
+    /// duplicates of one query produce exactly one insertion).
+    pub cache_insertions: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Live result-cache entries.
+    pub cache_entries: usize,
+}
+
+/// The sharded, cached, concurrent serving engine (see module docs and
+/// the crate-level example).
+#[derive(Debug)]
+pub struct Engine {
+    sharded: ShardedCorpus,
+    cache: Mutex<LruCache<CacheKey, SearchOutput>>,
+    cache_capacity: usize,
+    /// Keys currently being computed by some caller (single-flight).
+    inflight: Mutex<HashSet<CacheKey>>,
+    /// Signalled whenever an in-flight computation finishes.
+    inflight_done: Condvar,
+    threads: usize,
+    queries: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl Engine {
+    /// Builds the engine: shards the corpus, sizes the cache and pool.
+    ///
+    /// # Panics
+    /// Panics if `config.shards == 0` (deployment configuration error).
+    pub fn new(corpus: Corpus, config: EngineConfig) -> Engine {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
+        Engine {
+            sharded: ShardedCorpus::build(corpus, config.shards),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache_capacity: config.cache_capacity,
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+            threads,
+            queries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The global corpus behind the shards.
+    pub fn corpus(&self) -> &Corpus {
+        self.sharded.corpus()
+    }
+
+    /// The shard layout.
+    pub fn sharded(&self) -> &ShardedCorpus {
+        &self.sharded
+    }
+
+    /// Worker threads used by [`Engine::search_batch`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves one query: admission validation (options *and* query terms
+    /// — malformed input is a typed error, never a worker panic), cache
+    /// lookup, then the sharded merged search on a miss. Cache hits
+    /// return a clone of the original [`SearchOutput`], bit-identical
+    /// metrics included. Concurrent misses on the same key are
+    /// **single-flighted**: one caller computes, the rest wait and serve
+    /// the cached result (the expensive search never runs W times for W
+    /// duplicate queries in a batch).
+    pub fn search(
+        &self,
+        query: &Query,
+        options: &SearchOptions,
+    ) -> Result<SearchOutput, SearchError> {
+        let admission = options.validate().and_then(|()| {
+            let terms: &[TermId] = match query {
+                Query::Scan(term) => std::slice::from_ref(term),
+                Query::Keywords(q) => &q.terms,
+            };
+            validate_terms(terms, self.sharded.shard_index(0))
+        });
+        if let Err(e) = admission {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if self.cache_capacity == 0 {
+            // Caching disabled: no store to single-flight against (and no
+            // point paying for key normalization on the uncached path).
+            return self.execute(query, options);
+        }
+        let key = CacheKey::new(query, options);
+        loop {
+            // The cache lookup happens *under* the inflight lock: a
+            // computer inserts into the cache before removing its
+            // inflight key, so "key absent from both" race-freely means
+            // this caller should compute. (Lock order is always
+            // inflight→cache; the insert/remove paths hold one at a
+            // time, so there is no inversion.)
+            let mut inflight = self.inflight.lock().unwrap();
+            if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+                return Ok(hit.clone());
+            }
+            if !inflight.contains(&key) {
+                inflight.insert(key.clone());
+                break; // this caller computes
+            }
+            // Another caller is computing this key: wait for it to finish
+            // (it inserts into the cache before waking us), then re-check.
+            drop(self.inflight_done.wait(inflight).unwrap());
+        }
+        // Releases the inflight claim and wakes waiters on every exit
+        // path — including a panic inside `execute` (a leaked key would
+        // park every waiter on the condvar forever, and `thread::scope`
+        // would then hang joining them instead of propagating the panic).
+        struct InflightClaim<'a> {
+            inflight: &'a Mutex<HashSet<CacheKey>>,
+            done: &'a Condvar,
+            key: &'a CacheKey,
+        }
+        impl Drop for InflightClaim<'_> {
+            fn drop(&mut self) {
+                let mut inflight = self
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                inflight.remove(self.key);
+                self.done.notify_all();
+            }
+        }
+        let claim = InflightClaim {
+            inflight: &self.inflight,
+            done: &self.inflight_done,
+            key: &key,
+        };
+        // Compute outside every lock: a slow query must serialize neither
+        // the serving tier (cache mutex) nor unrelated misses (inflight).
+        let result = self.execute(query, options);
+        if let Ok(out) = &result {
+            self.cache.lock().unwrap().insert(key.clone(), out.clone());
+        }
+        // The claim drops here — strictly after the cache insert, so a
+        // woken waiter always finds the entry.
+        drop(claim);
+        result
+    }
+
+    /// Executes a batch concurrently on the scoped worker pool; results
+    /// come back in input order. Each query is admitted/cached exactly as
+    /// in [`Engine::search`].
+    pub fn search_batch(
+        &self,
+        batch: &[(Query, SearchOptions)],
+    ) -> Vec<Result<SearchOutput, SearchError>> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let workers = self.threads.min(batch.len()).max(1);
+        if workers == 1 {
+            return batch
+                .iter()
+                .map(|(query, options)| self.search(query, options))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<SearchOutput, SearchError>>>> =
+            batch.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((query, options)) = batch.get(i) else {
+                            break;
+                        };
+                        *slots[i].lock().unwrap() = Some(self.search(query, options));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every batch slot is filled by a worker")
+            })
+            .collect()
+    }
+
+    /// Counter snapshot (queries, rejections, batches, cache behaviour).
+    pub fn stats(&self) -> EngineStats {
+        let cache = self.cache.lock().unwrap();
+        let cache_stats: CacheStats = cache.stats();
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
+            cache_insertions: cache_stats.insertions,
+            cache_evictions: cache_stats.evictions,
+            cache_entries: cache.len(),
+        }
+    }
+
+    fn execute(&self, query: &Query, options: &SearchOptions) -> Result<SearchOutput, SearchError> {
+        let corpus = self.sharded.corpus();
+        let weights = self.sharded.weights();
+        match query {
+            Query::Scan(term) => {
+                let merged = MergedSource::incremental(self.sharded.scan_sources(*term));
+                search_with_source(corpus, weights, merged, options)
+            }
+            Query::Keywords(q) => {
+                let merged = MergedSource::bounding(self.sharded.ta_sources(q));
+                search_with_source(corpus, weights, merged, options)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divtopk_text::synth::{SynthConfig, generate};
+
+    fn engine(shards: usize) -> Engine {
+        let corpus = generate(&SynthConfig {
+            num_docs: 200,
+            ..SynthConfig::tiny()
+        });
+        Engine::new(corpus, EngineConfig::new(shards).with_threads(2))
+    }
+
+    fn popular_term(e: &Engine) -> TermId {
+        let index = e.sharded().shard_index(0);
+        (0..e.corpus().num_terms() as TermId)
+            .max_by_key(|&t| index.postings(t).len())
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_both<T: Send + Sync>() {}
+        assert_both::<Engine>();
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_and_counted() {
+        let e = engine(4);
+        let term = popular_term(&e);
+        let options = SearchOptions::new(3).with_tau(0.5);
+        let first = e.search(&Query::Scan(term), &options).unwrap();
+        let second = e.search(&Query::Scan(term), &options).unwrap();
+        assert_eq!(first, second);
+        let stats = e.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_entries, 1);
+    }
+
+    #[test]
+    fn cache_key_normalizes_term_order_but_not_operating_point() {
+        let e = engine(2);
+        let t1 = popular_term(&e);
+        let t2 = (0..e.corpus().num_terms() as TermId)
+            .filter(|&t| t != t1)
+            .max_by_key(|&t| e.sharded().shard_index(0).postings(t).len())
+            .unwrap();
+        let options = SearchOptions::new(3).with_tau(0.5);
+        let ab = KeywordQuery {
+            terms: vec![t1, t2],
+        };
+        let ba = KeywordQuery {
+            terms: vec![t2, t1],
+        };
+        let out1 = e.search(&Query::Keywords(ab), &options).unwrap();
+        let out2 = e.search(&Query::Keywords(ba), &options).unwrap();
+        assert_eq!(out1, out2);
+        assert_eq!(e.stats().cache_hits, 1, "term order must normalize away");
+        // A different (k, τ) operating point is a different entry.
+        let _ = e
+            .search(&Query::Scan(t1), &SearchOptions::new(3).with_tau(0.5))
+            .unwrap();
+        let _ = e
+            .search(&Query::Scan(t1), &SearchOptions::new(3).with_tau(0.6))
+            .unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_entries, 3);
+    }
+
+    #[test]
+    fn admission_rejects_and_counts_invalid_options() {
+        let e = engine(2);
+        let term = popular_term(&e);
+        assert!(matches!(
+            e.search(&Query::Scan(term), &SearchOptions::new(0)),
+            Err(SearchError::InvalidK { k: 0 })
+        ));
+        assert!(matches!(
+            e.search(
+                &Query::Scan(term),
+                &SearchOptions::new(3).with_tau(f64::NAN)
+            ),
+            Err(SearchError::InvalidTau { .. })
+        ));
+        let stats = e.stats();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.queries, 0);
+        assert_eq!(
+            stats.cache_misses, 0,
+            "rejected queries never reach the cache"
+        );
+    }
+
+    #[test]
+    fn batch_results_come_back_in_input_order() {
+        let e = engine(4);
+        let term = popular_term(&e);
+        let batch: Vec<(Query, SearchOptions)> = (1..=6)
+            .map(|k| (Query::Scan(term), SearchOptions::new(k).with_tau(0.7)))
+            .collect();
+        let outs = e.search_batch(&batch);
+        assert_eq!(outs.len(), 6);
+        for (i, out) in outs.iter().enumerate() {
+            let out = out.as_ref().unwrap();
+            assert!(
+                out.hits.len() <= i + 1,
+                "slot {i} answered with k > {}",
+                i + 1
+            );
+        }
+        // Batch answers equal sequential answers.
+        for ((query, options), got) in batch.iter().zip(&outs) {
+            let want = e.search(query, options).unwrap();
+            assert_eq!(&want, got.as_ref().unwrap());
+        }
+        assert_eq!(e.stats().batches, 1);
+    }
+
+    #[test]
+    fn batch_propagates_per_query_errors_without_poisoning_others() {
+        let e = engine(2);
+        let term = popular_term(&e);
+        let bogus = e.corpus().num_terms() as TermId + 7;
+        let batch = vec![
+            (Query::Scan(term), SearchOptions::new(3).with_tau(0.7)),
+            (Query::Scan(term), SearchOptions::new(0)),
+            // Out-of-vocabulary term ids must come back as typed errors,
+            // not panic a scoped worker and abort the whole batch.
+            (Query::Scan(bogus), SearchOptions::new(3).with_tau(0.7)),
+            (
+                Query::Keywords(KeywordQuery {
+                    terms: vec![term, bogus],
+                }),
+                SearchOptions::new(3).with_tau(0.7),
+            ),
+            (Query::Scan(term), SearchOptions::new(2).with_tau(0.7)),
+        ];
+        let outs = e.search_batch(&batch);
+        assert!(outs[0].is_ok());
+        assert!(matches!(outs[1], Err(SearchError::InvalidK { k: 0 })));
+        assert!(matches!(outs[2], Err(SearchError::UnknownTerm { term }) if term == bogus));
+        assert!(matches!(outs[3], Err(SearchError::UnknownTerm { term }) if term == bogus));
+        assert!(outs[4].is_ok());
+        assert_eq!(e.stats().rejected, 3);
+    }
+
+    #[test]
+    fn concurrent_duplicate_misses_are_single_flighted() {
+        let e = engine(4); // 2 worker threads
+        let term = popular_term(&e);
+        let batch: Vec<(Query, SearchOptions)> = (0..8)
+            .map(|_| (Query::Scan(term), SearchOptions::new(4).with_tau(0.5)))
+            .collect();
+        let outs = e.search_batch(&batch);
+        let first = outs[0].as_ref().unwrap();
+        for out in &outs {
+            assert_eq!(first, out.as_ref().unwrap());
+        }
+        // Exactly one computation happened; every other caller either hit
+        // the cache or waited on the in-flight one and then hit it.
+        let stats = e.stats();
+        assert_eq!(stats.cache_insertions, 1);
+        assert_eq!(stats.queries, 8);
+    }
+}

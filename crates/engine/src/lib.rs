@@ -1,0 +1,61 @@
+//! # divtopk-engine — sharded concurrent serving for diversified top-k
+//!
+//! The paper's `div-search` framework (Algorithm 3) needs exactly one thing
+//! from its retrieval tier: a [`divtopk_core::ResultSource`] with a valid
+//! unseen bound. That contract **composes across shards** — the max of
+//! per-shard bounds is a sound global bound (see [`divtopk_core::merge`]) —
+//! so this crate scales the single-machine searcher into a serving engine
+//! without touching the exactness proofs (Lemmas 1–3):
+//!
+//! * [`shard::ShardedCorpus`] — the corpus and inverted index partitioned
+//!   into `S` independent shards with stable doc-id remapping; per-shard
+//!   posting lists are exact subsequences of the global ones, with
+//!   bit-identical scores (global IDF / length statistics).
+//! * [`divtopk_core::MergedSource`] — a binary-heap k-way merge of one
+//!   [`divtopk_text::ScanSource`] / [`divtopk_text::TaSource`] per shard;
+//!   the framework consumes it unchanged, so sharded answers are exactly
+//!   the single-shard answers (property-tested in `tests/engine.rs`).
+//! * [`engine::Engine`] — owns the shards, validates
+//!   [`divtopk_text::SearchOptions`] once at admission, executes query
+//!   batches on a scoped `std::thread` pool, and keeps a capacity-bounded
+//!   LRU result cache ([`cache::LruCache`]) keyed on
+//!   `(normalized query, k, τ quantized, algorithm)` with hit / miss /
+//!   eviction counters.
+//!
+//! ```
+//! use divtopk_engine::prelude::*;
+//! use divtopk_text::prelude::*;
+//!
+//! let corpus = generate(&SynthConfig::tiny());
+//! let engine = Engine::new(corpus, EngineConfig::new(4));
+//! // Busiest term in the synthetic vocabulary.
+//! let term = (0..engine.corpus().num_terms() as TermId)
+//!     .max_by_key(|&t| engine.corpus().doc_freq(t))
+//!     .unwrap();
+//! let out = engine
+//!     .search(&Query::Scan(term), &SearchOptions::new(3).with_tau(0.5))
+//!     .unwrap();
+//! assert!(out.hits.len() <= 3);
+//! // Same query again: served from the cache, bit-identical.
+//! let again = engine
+//!     .search(&Query::Scan(term), &SearchOptions::new(3).with_tau(0.5))
+//!     .unwrap();
+//! assert_eq!(out, again);
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod engine;
+pub mod shard;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::cache::{CacheStats, LruCache};
+    pub use crate::engine::{Engine, EngineConfig, EngineStats, Query};
+    pub use crate::shard::ShardedCorpus;
+}
+
+pub use prelude::*;

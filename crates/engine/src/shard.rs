@@ -1,0 +1,215 @@
+//! Corpus sharding with stable doc-id remapping.
+//!
+//! A [`ShardedCorpus`] partitions a corpus's documents round-robin into `S`
+//! shards (`doc → shard doc mod S`) and builds one inverted index per shard
+//! via [`InvertedIndex::build_where`]. Three properties make the partition
+//! safe for *exact* serving:
+//!
+//! 1. **Global statistics.** Shard postings keep global doc ids, global IDF
+//!    weights, and global length normalization — a document scores
+//!    bit-identically whether served from a shard or from the full index.
+//! 2. **Subsequence posting lists.** Every shard list uses the same
+//!    `(partial desc, doc asc)` comparator over a subset of the full
+//!    list's totally ordered postings, so it is an exact subsequence; a
+//!    k-way merge with the same tie-break reproduces the unsharded scan
+//!    order exactly.
+//! 3. **Stable remapping.** `shard_of`/`local_id`/`global_id` are pure
+//!    closed-form functions of the doc id — no lookup tables to drift.
+//!
+//! The shard count is a serving-layout choice, not a semantic one: the
+//! engine's property tests assert identical output for `S ∈ {1, …, 8}`.
+
+use divtopk_text::corpus::Corpus;
+use divtopk_text::document::{DocId, TermId};
+use divtopk_text::index::InvertedIndex;
+use divtopk_text::query::KeywordQuery;
+use divtopk_text::scan::ScanSource;
+use divtopk_text::search::doc_weights;
+use divtopk_text::ta::TaSource;
+
+/// A corpus partitioned into `S` independent shards (see module docs).
+#[derive(Debug)]
+pub struct ShardedCorpus {
+    corpus: Corpus,
+    /// Per-document total IDF weight, shared by every query's similarity
+    /// prefilter (computed once — the engine is long-lived).
+    weights: Vec<f64>,
+    /// One inverted index per shard, restricted to that shard's documents.
+    shards: Vec<InvertedIndex>,
+}
+
+impl ShardedCorpus {
+    /// Partitions `corpus` into `num_shards` round-robin shards and builds
+    /// the per-shard indexes.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` (a serving tier needs at least one
+    /// partition; this is a deployment configuration error, not a query
+    /// admission error).
+    pub fn build(corpus: Corpus, num_shards: usize) -> ShardedCorpus {
+        assert!(num_shards >= 1, "shard count must be at least 1");
+        let shards = (0..num_shards)
+            .map(|s| {
+                InvertedIndex::build_where(&corpus, |d| {
+                    ShardedCorpus::shard_of_with(num_shards, d) == s
+                })
+            })
+            .collect();
+        let weights = doc_weights(&corpus);
+        ShardedCorpus {
+            corpus,
+            weights,
+            shards,
+        }
+    }
+
+    /// The shard owning `doc` for a given shard count (`doc mod S`).
+    #[inline]
+    pub fn shard_of_with(num_shards: usize, doc: DocId) -> usize {
+        doc as usize % num_shards
+    }
+
+    /// The shard owning `doc`.
+    #[inline]
+    pub fn shard_of(&self, doc: DocId) -> usize {
+        ShardedCorpus::shard_of_with(self.num_shards(), doc)
+    }
+
+    /// `doc`'s dense id *within its shard* (`doc div S`): the `i`-th
+    /// smallest global id owned by that shard.
+    #[inline]
+    pub fn local_id(&self, doc: DocId) -> DocId {
+        doc / self.num_shards() as DocId
+    }
+
+    /// Inverse of ([`shard_of`](ShardedCorpus::shard_of),
+    /// [`local_id`](ShardedCorpus::local_id)): the global doc id.
+    #[inline]
+    pub fn global_id(&self, shard: usize, local: DocId) -> DocId {
+        local * self.num_shards() as DocId + shard as DocId
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The (global) corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Per-document total IDF weights (see [`doc_weights`]).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The inverted index of one shard.
+    pub fn shard_index(&self, shard: usize) -> &InvertedIndex {
+        &self.shards[shard]
+    }
+
+    /// One incremental posting-list scan per shard for a single keyword.
+    pub fn scan_sources(&self, term: TermId) -> Vec<ScanSource<'_>> {
+        self.shards
+            .iter()
+            .map(|index| ScanSource::new(index, term))
+            .collect()
+    }
+
+    /// One bounding threshold-algorithm source per shard for a
+    /// multi-keyword query.
+    pub fn ta_sources(&self, query: &KeywordQuery) -> Vec<TaSource<'_>> {
+        self.shards
+            .iter()
+            .map(|index| TaSource::new(&self.corpus, index, &query.terms))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divtopk_text::synth::{SynthConfig, generate};
+
+    fn tiny() -> Corpus {
+        generate(&SynthConfig {
+            num_docs: 150,
+            ..SynthConfig::tiny()
+        })
+    }
+
+    #[test]
+    fn remapping_round_trips_and_balances() {
+        let sharded = ShardedCorpus::build(tiny(), 4);
+        let mut per_shard = [0usize; 4];
+        for d in 0..sharded.corpus().num_docs() as DocId {
+            let s = sharded.shard_of(d);
+            let l = sharded.local_id(d);
+            assert_eq!(sharded.global_id(s, l), d);
+            per_shard[s] += 1;
+        }
+        // Round-robin: shard loads differ by at most one document.
+        let (min, max) = (
+            per_shard.iter().min().unwrap(),
+            per_shard.iter().max().unwrap(),
+        );
+        assert!(max - min <= 1, "unbalanced shards: {per_shard:?}");
+    }
+
+    #[test]
+    fn shard_postings_partition_the_full_index() {
+        let corpus = tiny();
+        let full = InvertedIndex::build(&corpus);
+        let sharded = ShardedCorpus::build(corpus, 3);
+        for t in 0..sharded.corpus().num_terms() as TermId {
+            let total: usize = (0..3)
+                .map(|s| sharded.shard_index(s).postings(t).len())
+                .sum();
+            assert_eq!(total, full.postings(t).len(), "term {t}");
+            for s in 0..3 {
+                for p in sharded.shard_index(s).postings(t) {
+                    assert_eq!(sharded.shard_of(p.doc), s, "doc in wrong shard");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_index_equals_full_index() {
+        let corpus = tiny();
+        let full = InvertedIndex::build(&corpus);
+        let sharded = ShardedCorpus::build(corpus, 1);
+        for t in 0..sharded.corpus().num_terms() as TermId {
+            let a = sharded.shard_index(0).postings(t);
+            let b = full.postings(t);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.doc, y.doc);
+                assert_eq!(x.partial.to_bits(), y.partial.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shards_is_a_configuration_error() {
+        let _ = ShardedCorpus::build(tiny(), 0);
+    }
+
+    #[test]
+    fn more_shards_than_docs_is_fine() {
+        let mut b = Corpus::builder();
+        b.add_text("d0", "alpha beta");
+        b.add_text("d1", "alpha gamma");
+        let sharded = ShardedCorpus::build(b.build(), 8);
+        assert_eq!(sharded.num_shards(), 8);
+        // Shards 2..8 are empty but valid.
+        let alpha = sharded.corpus().term_id("alpha").unwrap();
+        let total: usize = (0..8)
+            .map(|s| sharded.shard_index(s).postings(alpha).len())
+            .sum();
+        assert_eq!(total, 2);
+    }
+}

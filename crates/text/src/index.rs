@@ -28,18 +28,33 @@ pub struct InvertedIndex {
 
 impl InvertedIndex {
     /// Builds the index; each list is sorted by `partial` descending
-    /// (ties: ascending doc id, so ordering is deterministic).
+    /// (ties: ascending doc id, so ordering is deterministic — repeated
+    /// builds and scans yield identical posting sequences).
     pub fn build(corpus: &Corpus) -> InvertedIndex {
+        InvertedIndex::build_where(corpus, |_| true)
+    }
+
+    /// Builds the index restricted to the documents `keep` accepts, with
+    /// **global** doc ids, IDF weights, and length normalization — the
+    /// partial scores are bit-identical to the full index's. This is the
+    /// shard construction primitive: because every list uses the same
+    /// `(partial desc, doc asc)` comparator over a subset of the same
+    /// totally ordered postings, each shard list is an exact subsequence of
+    /// the full list, so a k-way merge of shard scans with the same
+    /// tie-break reproduces the unsharded scan order exactly
+    /// (`divtopk-engine` property-tests this).
+    pub fn build_where(corpus: &Corpus, keep: impl Fn(DocId) -> bool) -> InvertedIndex {
         let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); corpus.num_terms()];
         for (doc_idx, doc) in corpus.docs().iter().enumerate() {
-            if doc.len == 0 {
+            let doc_id = doc_idx as DocId;
+            if doc.len == 0 || !keep(doc_id) {
                 continue;
             }
             let inv_sqrt_len = 1.0 / (doc.len as f64).sqrt();
             for &(t, tf) in &doc.terms {
                 let partial = tf as f64 * corpus.idf(t) * inv_sqrt_len;
                 lists[t as usize].push(Posting {
-                    doc: doc_idx as DocId,
+                    doc: doc_id,
                     tf,
                     partial,
                 });
@@ -118,6 +133,53 @@ mod tests {
             for p in idx.postings(t) {
                 let want = tfidf::partial_score(&c, t, p.doc);
                 assert!((p.partial - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_partials_are_ordered_by_doc_id() {
+        // Identical documents produce identical partial scores; the list
+        // order must still be deterministic (ascending doc id), not an
+        // accident of sort internals.
+        let mut b = Corpus::builder();
+        for i in 0..6 {
+            b.add_text(&format!("d{i}"), "wheat harvest season");
+        }
+        b.add_text("filler", "unrelated words entirely");
+        let c = b.build();
+        let idx = InvertedIndex::build(&c);
+        let wheat = c.term_id("wheat").unwrap();
+        let docs: Vec<DocId> = idx.postings(wheat).iter().map(|p| p.doc).collect();
+        assert_eq!(docs, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn build_where_lists_are_subsequences_with_identical_partials() {
+        let c = crate::synth::generate(&crate::synth::SynthConfig {
+            num_docs: 120,
+            ..crate::synth::SynthConfig::tiny()
+        });
+        let full = InvertedIndex::build(&c);
+        for shards in [2usize, 3, 5] {
+            let parts: Vec<InvertedIndex> = (0..shards)
+                .map(|s| InvertedIndex::build_where(&c, |d| d as usize % shards == s))
+                .collect();
+            for t in 0..c.num_terms() as TermId {
+                // Partition: every posting lands in exactly one shard, and
+                // each shard list preserves the full list's relative order
+                // (same comparator on a subset of a total order).
+                let mut cursors = vec![0usize; shards];
+                for p in full.postings(t) {
+                    let s = p.doc as usize % shards;
+                    let got = parts[s].postings(t)[cursors[s]];
+                    assert_eq!(got.doc, p.doc);
+                    assert_eq!(got.partial.to_bits(), p.partial.to_bits());
+                    cursors[s] += 1;
+                }
+                for (s, part) in parts.iter().enumerate() {
+                    assert_eq!(cursors[s], part.postings(t).len());
+                }
             }
         }
     }

@@ -66,7 +66,10 @@ pub mod prelude {
     pub use crate::quality::{diversified_score, redundancy};
     pub use crate::query::{KeywordQuery, kfreq_band, query_for_band, representative_terms};
     pub use crate::scan::ScanSource;
-    pub use crate::search::{DiversifiedSearcher, Hit, SearchOptions, SearchOutput};
+    pub use crate::search::{
+        DiversifiedSearcher, Hit, SearchOptions, SearchOutput, doc_weights, search_with_source,
+        validate_terms,
+    };
     pub use crate::synth::{SynthConfig, generate};
     pub use crate::ta::TaSource;
     pub use crate::tfidf::{partial_score, score};

@@ -50,6 +50,15 @@ mod tests {
     use crate::corpus::Corpus;
     use crate::tfidf;
 
+    /// The engine's worker threads move per-shard sources across threads.
+    #[test]
+    fn text_sources_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ScanSource<'_>>();
+        assert_send::<crate::ta::TaSource<'_>>();
+        assert_send::<divtopk_core::MergedSource<ScanSource<'_>>>();
+    }
+
     fn corpus() -> Corpus {
         let mut b = Corpus::builder();
         b.add_text("d0", "wheat prices rose");

@@ -27,7 +27,10 @@ pub struct Hit {
 }
 
 /// Result of a diversified search.
-#[derive(Debug)]
+///
+/// `Clone + PartialEq` on purpose: the serving engine caches outputs and
+/// its tests assert cache hits are bit-identical to the original run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchOutput {
     /// Diversified top-k hits, best first; no two exceed the similarity
     /// threshold pairwise, and the total score is maximal.
@@ -98,77 +101,128 @@ impl SearchOptions {
         self.limits = limits;
         self
     }
+
+    /// Admission validation, applied by [`DiversifiedSearcher`] and the
+    /// serving engine before any work happens:
+    ///
+    /// * `k == 0` is rejected (`SearchError::InvalidK`) instead of falling
+    ///   through to the inner search as a silent no-op;
+    /// * `τ` must be a number in `[0, 1]` (`SearchError::InvalidTau`) —
+    ///   a NaN τ makes every `sim > τ` comparison false, silently turning
+    ///   diversified search into plain top-k.
+    pub fn validate(&self) -> Result<(), SearchError> {
+        if self.k == 0 {
+            return Err(SearchError::InvalidK { k: 0 });
+        }
+        if !self.tau.is_finite() || !(0.0..=1.0).contains(&self.tau) {
+            return Err(SearchError::InvalidTau { tau: self.tau });
+        }
+        Ok(())
+    }
+}
+
+/// Per-document total IDF weights (`W(d)` of the [`similar_above`]
+/// prefilter), precomputed once per corpus. Exposed so long-lived owners
+/// of a corpus — the serving engine — can share one table across queries.
+pub fn doc_weights(corpus: &Corpus) -> Vec<f64> {
+    let idf = corpus.idf_table();
+    corpus.docs().iter().map(|d| total_weight(idf, d)).collect()
+}
+
+/// Runs one diversified search over an arbitrary
+/// [`ResultSource`](divtopk_core::ResultSource) of
+/// documents from `corpus` — the shared execution path behind
+/// [`DiversifiedSearcher`] and the sharded engine's merged sources.
+/// `weights` must be [`doc_weights`] of the same corpus. Validates
+/// `options` at admission.
+pub fn search_with_source<S>(
+    corpus: &Corpus,
+    weights: &[f64],
+    source: S,
+    options: &SearchOptions,
+) -> Result<SearchOutput, SearchError>
+where
+    S: divtopk_core::ResultSource<Item = DocId>,
+{
+    options.validate()?;
+    let tau = options.tau;
+    let similar = move |a: &DocId, b: &DocId| {
+        similar_above(
+            corpus.idf_table(),
+            corpus.doc(*a),
+            weights[*a as usize],
+            corpus.doc(*b),
+            weights[*b as usize],
+            tau,
+        )
+    };
+    let config = DivSearchConfig::new(options.k)
+        .with_algorithm(options.algorithm.clone())
+        .with_limits(options.limits.clone())
+        .with_bound_decay(options.bound_decay);
+    let out = DivTopK::new(source, similar, config).run()?;
+    let hits = out
+        .selected
+        .iter()
+        .map(|r| Hit {
+            doc: r.item,
+            score: r.score,
+        })
+        .collect();
+    Ok(SearchOutput {
+        hits,
+        total_score: out.total_score,
+        metrics: out.metrics,
+    })
 }
 
 impl<'a> DiversifiedSearcher<'a> {
     /// Creates a searcher over a prebuilt corpus and index.
     pub fn new(corpus: &'a Corpus, index: &'a InvertedIndex) -> DiversifiedSearcher<'a> {
-        let idf = corpus.idf_table();
-        let doc_weights = corpus.docs().iter().map(|d| total_weight(idf, d)).collect();
         DiversifiedSearcher {
             corpus,
             index,
-            doc_weights,
+            doc_weights: doc_weights(corpus),
         }
     }
 
     /// Multi-keyword diversified search via the threshold algorithm
     /// (bounding framework — the paper's enwiki configuration).
+    /// Rejects invalid options and out-of-vocabulary terms at admission.
     pub fn search_ta(
         &self,
         query: &KeywordQuery,
         options: &SearchOptions,
     ) -> Result<SearchOutput, SearchError> {
+        options.validate()?;
+        validate_terms(&query.terms, self.index)?;
         let source = TaSource::new(self.corpus, self.index, &query.terms);
-        self.run(source, options)
+        search_with_source(self.corpus, &self.doc_weights, source, options)
     }
 
     /// Single-keyword diversified search via a posting-list scan
     /// (incremental framework — the paper's reuters configuration).
+    /// Rejects invalid options and out-of-vocabulary terms at admission.
     pub fn search_scan(
         &self,
         term: TermId,
         options: &SearchOptions,
     ) -> Result<SearchOutput, SearchError> {
+        options.validate()?;
+        validate_terms(&[term], self.index)?;
         let source = ScanSource::new(self.index, term);
-        self.run(source, options)
+        search_with_source(self.corpus, &self.doc_weights, source, options)
     }
+}
 
-    fn run<S>(&self, source: S, options: &SearchOptions) -> Result<SearchOutput, SearchError>
-    where
-        S: divtopk_core::ResultSource<Item = DocId>,
-    {
-        let corpus = self.corpus;
-        let weights = &self.doc_weights;
-        let tau = options.tau;
-        let similar = move |a: &DocId, b: &DocId| {
-            similar_above(
-                corpus.idf_table(),
-                corpus.doc(*a),
-                weights[*a as usize],
-                corpus.doc(*b),
-                weights[*b as usize],
-                tau,
-            )
-        };
-        let config = DivSearchConfig::new(options.k)
-            .with_algorithm(options.algorithm.clone())
-            .with_limits(options.limits.clone())
-            .with_bound_decay(options.bound_decay);
-        let out = DivTopK::new(source, similar, config).run()?;
-        let hits = out
-            .selected
-            .iter()
-            .map(|r| Hit {
-                doc: r.item,
-                score: r.score,
-            })
-            .collect();
-        Ok(SearchOutput {
-            hits,
-            total_score: out.total_score,
-            metrics: out.metrics,
-        })
+/// Admission check shared with the serving engine: every query term must
+/// lie inside the index vocabulary, so malformed client input surfaces as
+/// a typed [`SearchError::UnknownTerm`] instead of an out-of-bounds panic
+/// in a posting-list lookup.
+pub fn validate_terms(terms: &[TermId], index: &InvertedIndex) -> Result<(), SearchError> {
+    match terms.iter().find(|&&t| t as usize >= index.num_terms()) {
+        Some(&term) => Err(SearchError::UnknownTerm { term }),
+        None => Ok(()),
     }
 }
 
@@ -302,6 +356,65 @@ mod tests {
         );
         assert!(out.metrics.early_stopped);
         assert_eq!(out.hits.len(), 3);
+    }
+
+    #[test]
+    fn admission_rejects_invalid_k_and_tau() {
+        let (corpus, index) = setup();
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let term = (0..corpus.num_terms() as TermId)
+            .max_by_key(|&t| index.postings(t).len())
+            .unwrap();
+        let query = KeywordQuery { terms: vec![term] };
+
+        // k == 0 must be rejected, not silently return empty.
+        let k0 = SearchOptions::new(0);
+        assert_eq!(
+            searcher.search_scan(term, &k0).unwrap_err(),
+            SearchError::InvalidK { k: 0 }
+        );
+        assert_eq!(
+            searcher.search_ta(&query, &k0).unwrap_err(),
+            SearchError::InvalidK { k: 0 }
+        );
+
+        // τ outside [0, 1] or NaN must be rejected with the typed error.
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            let options = SearchOptions::new(3).with_tau(bad);
+            match searcher.search_scan(term, &options).unwrap_err() {
+                SearchError::InvalidTau { tau } => {
+                    assert!(tau.is_nan() == bad.is_nan() && (bad.is_nan() || tau == bad));
+                }
+                other => panic!("expected InvalidTau, got {other:?}"),
+            }
+            assert!(matches!(
+                searcher.search_ta(&query, &options).unwrap_err(),
+                SearchError::InvalidTau { .. }
+            ));
+        }
+
+        // Boundary values stay admissible (τ = 0 and τ = 1 are legal).
+        assert!(SearchOptions::new(1).with_tau(0.0).validate().is_ok());
+        assert!(SearchOptions::new(1).with_tau(1.0).validate().is_ok());
+
+        // Out-of-vocabulary term ids are a typed error, not a panic.
+        let bogus = corpus.num_terms() as TermId;
+        let ok = SearchOptions::new(3);
+        assert_eq!(
+            searcher.search_scan(bogus, &ok).unwrap_err(),
+            SearchError::UnknownTerm { term: bogus }
+        );
+        assert_eq!(
+            searcher
+                .search_ta(
+                    &KeywordQuery {
+                        terms: vec![term, bogus]
+                    },
+                    &ok
+                )
+                .unwrap_err(),
+            SearchError::UnknownTerm { term: bogus }
+        );
     }
 
     #[test]

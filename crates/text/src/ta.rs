@@ -19,16 +19,31 @@ use std::collections::HashSet;
 use std::collections::VecDeque;
 
 /// Threshold-algorithm source over an index for one multi-keyword query.
+///
+/// Determinism: sorted accesses proceed in complete **rounds** (one access
+/// per non-exhausted list, in term order), and all documents discovered in
+/// the same round are emitted by `(score desc, doc asc)` — never by the
+/// accident of which list surfaced them first. Repeated runs therefore
+/// yield identical emission sequences.
+///
+/// Bound monotonicity: the reported unseen bound uses a **running minimum**
+/// of the raw threshold, so it can never increase — not even across a
+/// list-exhaustion boundary, where the raw per-round threshold jitters as
+/// an exhausted list's contribution drops to zero mid-round. (The engine
+/// clamps defensively per Lemma 2, but the source itself must be a valid
+/// bounding source for the sharded merge, whose `max` of per-shard bounds
+/// is only monotone if each input is.)
 pub struct TaSource<'a> {
     corpus: &'a Corpus,
     query: Vec<TermId>,
     lists: Vec<&'a [crate::index::Posting]>,
     cursors: Vec<usize>,
-    /// Which list the next sorted access hits.
-    next_list: usize,
     seen: HashSet<DocId>,
-    /// Fully-scored documents discovered but not yet handed out.
+    /// Fully-scored documents discovered but not yet handed out, ordered
+    /// `(score desc, doc asc)` within each discovery round.
     buffer: VecDeque<Scored<DocId>>,
+    /// Running minimum of the raw threshold (see type docs).
+    min_threshold: f64,
     /// Sorted accesses performed (exposed for benches).
     sorted_accesses: u64,
     /// Random accesses performed (exposed for benches).
@@ -42,21 +57,25 @@ impl<'a> TaSource<'a> {
         terms.sort_unstable();
         terms.dedup();
         let lists = terms.iter().map(|&t| index.postings(t)).collect::<Vec<_>>();
-        TaSource {
+        let mut source = TaSource {
             corpus,
             cursors: vec![0; terms.len()],
-            next_list: 0,
             query: terms,
             lists,
             seen: HashSet::new(),
             buffer: VecDeque::new(),
+            min_threshold: f64::INFINITY,
             sorted_accesses: 0,
             random_accesses: 0,
-        }
+        };
+        source.min_threshold = source.threshold();
+        source
     }
 
-    /// Threshold over unseen documents: sum of the partial scores at the
-    /// current cursor positions (an exhausted list contributes 0).
+    /// Raw threshold: sum of the partial scores at the current cursor
+    /// positions (an exhausted list contributes 0). Upper-bounds every
+    /// document no list has surfaced yet — but is *not* guaranteed
+    /// monotone at exhaustion boundaries; consumers use `min_threshold`.
     fn threshold(&self) -> f64 {
         self.lists
             .iter()
@@ -73,37 +92,34 @@ impl<'a> TaSource<'a> {
             .all(|(list, &cur)| cur >= list.len())
     }
 
-    /// Performs sorted accesses until one *new* document is buffered or all
-    /// lists are exhausted.
+    /// Performs complete rounds of sorted accesses (one per non-exhausted
+    /// list, in term order) until at least one *new* document is buffered
+    /// or all lists are exhausted. Documents discovered in the same round
+    /// enter the buffer sorted `(score desc, doc asc)`.
     fn pump(&mut self) {
         while self.buffer.is_empty() && !self.exhausted() {
-            // Round-robin: find the next non-exhausted list.
-            let m = self.lists.len();
-            let mut picked = None;
-            for offset in 0..m {
-                let j = (self.next_list + offset) % m;
-                if self.cursors[j] < self.lists[j].len() {
-                    picked = Some(j);
-                    self.next_list = (j + 1) % m;
-                    break;
-                }
-            }
-            let Some(j) = picked else { return };
-            let posting = self.lists[j][self.cursors[j]];
-            self.cursors[j] += 1;
-            self.sorted_accesses += 1;
-            if self.seen.insert(posting.doc) {
-                // Random accesses for the other query terms (Eq. 3 total).
-                let mut total = posting.partial;
-                for (i, &t) in self.query.iter().enumerate() {
-                    if i != j {
-                        total += tfidf::partial_score(self.corpus, t, posting.doc);
-                        self.random_accesses += 1;
+            let mut round: Vec<Scored<DocId>> = Vec::new();
+            for j in 0..self.lists.len() {
+                let Some(&posting) = self.lists[j].get(self.cursors[j]) else {
+                    continue;
+                };
+                self.cursors[j] += 1;
+                self.sorted_accesses += 1;
+                if self.seen.insert(posting.doc) {
+                    // Random accesses for the other query terms (Eq. 3).
+                    let mut total = posting.partial;
+                    for (i, &t) in self.query.iter().enumerate() {
+                        if i != j {
+                            total += tfidf::partial_score(self.corpus, t, posting.doc);
+                            self.random_accesses += 1;
+                        }
                     }
+                    round.push(Scored::new(posting.doc, Score::new(total)));
                 }
-                self.buffer
-                    .push_back(Scored::new(posting.doc, Score::new(total)));
             }
+            round.sort_by(|a, b| b.score.cmp(&a.score).then(a.item.cmp(&b.item)));
+            self.buffer.extend(round);
+            self.min_threshold = self.min_threshold.min(self.threshold());
         }
     }
 
@@ -129,10 +145,12 @@ impl ResultSource for TaSource<'_> {
     }
 
     fn unseen_bound(&self) -> UnseenBound {
-        // The threshold bounds documents never touched; buffered documents
-        // have been scored but not yet returned, so the bound must cover
-        // them as well.
-        let mut bound = self.threshold();
+        // The running-min threshold bounds documents never touched;
+        // buffered documents have been scored but not yet returned, so the
+        // bound must cover them as well. Both components are non-increasing
+        // over time (buffered scores were ≤ the running-min threshold at
+        // discovery), so the reported bound is monotone.
+        let mut bound = self.min_threshold;
         for b in &self.buffer {
             bound = bound.max(b.score.get());
         }
@@ -212,6 +230,76 @@ mod tests {
             assert!(b.get() <= last + 1e-9);
             last = b.get();
         }
+    }
+
+    /// Regression (bugfix PR 3): the reported bound must be non-increasing
+    /// at *every* step all the way to exhaustion, including across the
+    /// boundaries where individual lists run dry mid-query. The corpus is
+    /// crafted so the query's lists have very different lengths (one term
+    /// in almost every document, one in exactly two, one in one), forcing
+    /// staggered exhaustion while pulls continue.
+    #[test]
+    fn bound_monotone_to_exhaustion_across_list_boundaries() {
+        let mut b = Corpus::builder();
+        for i in 0..12 {
+            // "common" everywhere; the rare terms only early on.
+            let rare = match i {
+                0 => "rare1 rare2",
+                1 => "rare1",
+                _ => "",
+            };
+            b.add_text(&format!("d{i}"), &format!("common filler{i} {rare}"));
+        }
+        let c = b.build();
+        let idx = InvertedIndex::build(&c);
+        let q = vec![
+            c.term_id("common").unwrap(),
+            c.term_id("rare1").unwrap(),
+            c.term_id("rare2").unwrap(),
+        ];
+        let mut src = TaSource::new(&c, &idx, &q);
+        let mut prev = match src.unseen_bound() {
+            UnseenBound::At(s) => s.get(),
+            UnseenBound::Unbounded => f64::INFINITY,
+        };
+        let mut pulled = 0;
+        while let Some(r) = src.next_result() {
+            pulled += 1;
+            let UnseenBound::At(b) = src.unseen_bound() else {
+                panic!("TA bound must always be known");
+            };
+            assert!(
+                b.get() <= prev,
+                "bound rose {prev} -> {} after pulling doc {}",
+                b.get(),
+                r.item
+            );
+            // The bound also genuinely covers the emitted result stream:
+            // nothing pulled later may exceed it (checked transitively by
+            // monotonicity + the per-pull check in `drain_checked`).
+            prev = b.get();
+        }
+        assert_eq!(pulled, 12, "every matching doc must be emitted");
+        assert!(src.exhausted());
+    }
+
+    /// Documents discovered in the same sorted-access round are emitted by
+    /// `(score desc, doc asc)`, not by which posting list surfaced them.
+    #[test]
+    fn same_round_ties_emit_by_doc_id() {
+        let mut b = Corpus::builder();
+        // Two identical docs -> identical scores; plus filler for idf > 0.
+        b.add_text("twin-a", "apple banana");
+        b.add_text("twin-b", "apple banana");
+        for i in 0..6 {
+            b.add_text(&format!("f{i}"), "unrelated filler words");
+        }
+        let c = b.build();
+        let idx = InvertedIndex::build(&c);
+        let q = vec![c.term_id("apple").unwrap(), c.term_id("banana").unwrap()];
+        let src = TaSource::new(&c, &idx, &q);
+        let order: Vec<DocId> = drain_checked(src).iter().map(|r| r.item).collect();
+        assert_eq!(order, vec![0, 1], "score ties must break by doc id");
     }
 
     #[test]

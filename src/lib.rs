@@ -1,15 +1,18 @@
 //! # divtopk — diversified top-k search (facade crate)
 //!
-//! Re-exports [`divtopk_core`] (the algorithms and framework) and
-//! [`divtopk_text`] (the text-search evaluation substrate).
+//! Re-exports [`divtopk_core`] (the algorithms and framework),
+//! [`divtopk_text`] (the text-search evaluation substrate), and
+//! [`divtopk_engine`] (the sharded concurrent serving tier).
 
 pub use divtopk_core as core;
+pub use divtopk_engine as engine;
 pub use divtopk_text as text;
 
 pub use divtopk_core::prelude::*;
 
-/// One-stop imports spanning both crates.
+/// One-stop imports spanning all three crates.
 pub mod prelude {
     pub use divtopk_core::prelude::*;
+    pub use divtopk_engine::prelude::*;
     pub use divtopk_text::prelude::*;
 }

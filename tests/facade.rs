@@ -36,6 +36,23 @@ fn text_reexport_paths_resolve() {
     assert_eq!(toks, vec!["hello".to_string(), "world".to_string()]);
 }
 
+#[test]
+fn engine_reexport_paths_resolve() {
+    let mut builder = divtopk::text::corpus::Corpus::builder();
+    builder.add_text("d1", "alpha beta gamma");
+    builder.add_text("d2", "alpha beta delta");
+    builder.add_text("d3", "unrelated filler words");
+    let corpus = builder.build();
+    let engine =
+        divtopk::engine::engine::Engine::new(corpus, divtopk::engine::engine::EngineConfig::new(2));
+    assert_eq!(engine.sharded().num_shards(), 2);
+    // Prelude names flattened through the facade.
+    let _: divtopk::prelude::EngineConfig = divtopk::prelude::EngineConfig::default();
+    let _: divtopk::prelude::CacheStats = Default::default();
+    let stats: divtopk::prelude::EngineStats = engine.stats();
+    assert_eq!(stats.queries, 0);
+}
+
 /// The facade flattens `divtopk_core::prelude` at its root: the names used
 /// by every example must resolve without any explicit submodule path.
 #[test]
