@@ -18,8 +18,19 @@
 //! container the gain is the result cache + the tighter merged TA bound;
 //! on multicore the batch pool adds parallel speedup on top).
 //!
+//! The **live update** suite replays an interleaved add/delete/query
+//! trace (with periodic compactions) against the segmented engine and
+//! against the rebuild-per-mutation baseline (the pre-PR-4 serving shape:
+//! a from-scratch `InvertedIndex::build` + weight table after every
+//! mutation batch): queries/sec under the mutation stream, the p95
+//! staleness-free read latency of the segmented engine, and the
+//! segmented-vs-rebuild speedup land in the summary. Every run asserts —
+//! query by query — that the segmented answers agree with the rebuilt
+//! oracle (byte-identical for scans, equal optima for TA), and finishes
+//! with the data-level `verify_rebuild_equivalence` check.
+//!
 //! ```text
-//! cargo run --release -p divtopk-bench --bin perfbase              # full → BENCH_3.json
+//! cargo run --release -p divtopk-bench --bin perfbase              # full → BENCH_4.json
 //! cargo run --release -p divtopk-bench --bin perfbase -- --smoke   # tiny CI variant
 //! cargo run --release -p divtopk-bench --bin perfbase -- --out target/BENCH.json --runs 7
 //! ```
@@ -27,7 +38,7 @@
 //! The binary validates its own output (strict JSON well-formedness and a
 //! non-empty cell list) and exits non-zero on any inconsistency, including
 //! a best-score disagreement between the two kernels on the same cell and
-//! any sharded-vs-unsharded answer disagreement in the throughput suite —
+//! any sharded-vs-unsharded or segmented-vs-rebuilt answer disagreement —
 //! the measurement run doubles as an oracle-equivalence check.
 
 use divtopk_bench::{Measurement, PeakAlloc, json, measure};
@@ -501,6 +512,312 @@ fn serving_throughput_suite(
     })
 }
 
+/// Outcome of the live-update suite, for the JSON summary.
+struct LiveUpdateReport {
+    qps_segmented: f64,
+    qps_rebuild: f64,
+    p95_read_ns: u128,
+    queries: usize,
+    mutation_batches: usize,
+    final_segments: usize,
+    final_tombstones: usize,
+    compactions: u64,
+}
+
+/// One scripted operation of the live-update trace (shared verbatim by
+/// the segmented engine and the rebuild baseline, so both serve the exact
+/// same interleaving).
+enum LiveOp {
+    /// Append this slice of the donor pool as one batch.
+    Add(std::ops::Range<usize>),
+    /// Tombstone these doc ids.
+    Delete(Vec<DocId>),
+    /// One size-tiered compaction step (a no-op for the baseline, whose
+    /// from-scratch index is always fully compacted).
+    Compact,
+    /// Single-keyword diversified query.
+    Scan(TermId),
+    /// Multi-keyword diversified query.
+    Ta(KeywordQuery),
+}
+
+/// The live-update suite (DESIGN.md §9): interleaved add/delete/query
+/// trace with periodic compaction, segmented engine vs rebuild-per-
+/// mutation baseline, equivalence asserted on every query of every run.
+fn live_update_suite(
+    cells: &mut Vec<Cell>,
+    smoke: bool,
+    runs: usize,
+    budget: Duration,
+) -> Option<LiveUpdateReport> {
+    let base_docs = if smoke { 240 } else { 4000 };
+    let rounds = if smoke { 4 } else { 24 };
+    let adds_per_round = if smoke { 6 } else { 16 };
+    let deletes_per_round = adds_per_round / 2;
+    let k = 6;
+    let pool_size = rounds * adds_per_round;
+
+    // Donor corpus: the first `base_docs` documents become the frozen
+    // statistics epoch, the rest are the live-add pool (same vocabulary).
+    let donor = generate(&SynthConfig::reuters_like().with_num_docs(base_docs + pool_size));
+    let mut builder = CorpusBuilder::with_synthetic_vocab(donor.num_terms());
+    for d in 0..base_docs as DocId {
+        builder.add_document(donor.doc(d).clone());
+    }
+    let base = builder.build();
+    let pool: Vec<Document> = (base_docs..base_docs + pool_size)
+        .map(|d| donor.doc(d as DocId).clone())
+        .collect();
+
+    // Distinct queries on the base epoch: two busy scan terms, two
+    // 2-keyword TA queries from the low kfreq bands.
+    let mut scan_terms: Vec<TermId> = (0..base.num_terms() as TermId)
+        .filter(|&t| (8..=60).contains(&base.doc_freq(t)))
+        .collect();
+    scan_terms.sort_by_key(|&t| std::cmp::Reverse(base.doc_freq(t)));
+    scan_terms.truncate(2);
+    let mut ta_queries: Vec<KeywordQuery> = Vec::new();
+    let mut seed = QUERY_SEED;
+    while ta_queries.len() < 2 && seed < QUERY_SEED + 10_000 {
+        seed += 1;
+        let band = 1 + (seed % 3) as u8;
+        if let Some(q) = query_for_band(&base, band, 2, seed) {
+            if !ta_queries.contains(&q) {
+                ta_queries.push(q);
+            }
+        }
+    }
+    if scan_terms.len() < 2 || ta_queries.len() < 2 {
+        eprintln!("[live_update] could not assemble the query set");
+        return None;
+    }
+    let limits = SearchLimits {
+        time_budget: Some(budget),
+        max_bytes: Some(1 << 30),
+        ..SearchLimits::default()
+    };
+    let options = SearchOptions::new(k)
+        .with_tau(0.6)
+        .with_limits(limits)
+        .with_bound_decay(0.01);
+
+    // Deterministic script: each round adds a batch, deletes live docs,
+    // compacts every 4th round, and serves 2 queries — simulated once so
+    // both passes (and all runs) replay the identical interleaving.
+    let mut rng = divtopk_core::rng::Pcg::new(QUERY_SEED ^ 0x11FE);
+    let mut script: Vec<LiveOp> = Vec::new();
+    let mut total_docs = base_docs;
+    let mut dead: std::collections::HashSet<DocId> = Default::default();
+    let mut queries = 0usize;
+    let mut mutation_batches = 0usize;
+    for round in 0..rounds {
+        let start = round * adds_per_round;
+        script.push(LiveOp::Add(start..start + adds_per_round));
+        total_docs += adds_per_round;
+        mutation_batches += 1;
+        let mut victims = Vec::new();
+        while victims.len() < deletes_per_round {
+            let d = rng.below(total_docs as u32);
+            if dead.insert(d) {
+                victims.push(d);
+            }
+        }
+        script.push(LiveOp::Delete(victims));
+        mutation_batches += 1;
+        if round % 4 == 3 {
+            script.push(LiveOp::Compact);
+            mutation_batches += 1;
+        }
+        script.push(LiveOp::Scan(scan_terms[round % scan_terms.len()]));
+        script.push(LiveOp::Ta(ta_queries[round % ta_queries.len()].clone()));
+        queries += 2;
+    }
+
+    // Segmented pass: one engine, mutations through the snapshot layer.
+    // Returns (per-query outputs, per-query latencies).
+    let run_segmented = |record: &mut Vec<(SearchOutput, u128)>| {
+        record.clear();
+        let engine = Engine::new(base.clone(), EngineConfig::new(2));
+        for op in &script {
+            match op {
+                LiveOp::Add(r) => {
+                    engine.add_docs(pool[r.clone()].to_vec());
+                }
+                LiveOp::Delete(v) => {
+                    engine.delete_docs(v);
+                }
+                LiveOp::Compact => {
+                    engine.compact();
+                }
+                LiveOp::Scan(t) => {
+                    let t0 = std::time::Instant::now();
+                    let out = engine.search(&Query::Scan(*t), &options).expect("scan");
+                    record.push((out, t0.elapsed().as_nanos()));
+                }
+                LiveOp::Ta(q) => {
+                    let t0 = std::time::Instant::now();
+                    let out = engine
+                        .search(&Query::Keywords(q.clone()), &options)
+                        .expect("ta");
+                    record.push((out, t0.elapsed().as_nanos()));
+                }
+            }
+        }
+        engine
+            .verify_rebuild_equivalence()
+            .expect("segmented state diverged from rebuild");
+        engine.stats()
+    };
+
+    // Rebuild baseline: a from-scratch index + weight table after every
+    // mutation batch, queried through the plain unsegmented sources.
+    let run_rebuild = |record: &mut Vec<SearchOutput>| {
+        record.clear();
+        let mut view = base.clone();
+        let mut deleted: std::collections::HashSet<DocId> = Default::default();
+        let mut index = InvertedIndex::build(&view);
+        let mut weights = doc_weights(&view);
+        for op in &script {
+            match op {
+                LiveOp::Add(r) => {
+                    view.append_frozen(pool[r.clone()].iter().cloned());
+                    index = InvertedIndex::build_where(&view, |d| !deleted.contains(&d));
+                    weights = doc_weights(&view);
+                }
+                LiveOp::Delete(v) => {
+                    deleted.extend(v.iter().copied());
+                    index = InvertedIndex::build_where(&view, |d| !deleted.contains(&d));
+                    weights = doc_weights(&view);
+                }
+                LiveOp::Compact => {}
+                LiveOp::Scan(t) => {
+                    let source = ScanSource::new(&index, *t);
+                    record
+                        .push(search_with_source(&view, &weights, source, &options).expect("scan"));
+                }
+                LiveOp::Ta(q) => {
+                    let source = TaSource::new(&view, &index, &q.terms);
+                    record.push(search_with_source(&view, &weights, source, &options).expect("ta"));
+                }
+            }
+        }
+    };
+
+    let mut seg_outputs: Vec<(SearchOutput, u128)> = Vec::new();
+    let mut seg_walls: Vec<u128> = Vec::new();
+    // Read latencies pooled across *all* runs — a tail statistic from a
+    // single run would let one scheduler hiccup skew the committed p95.
+    let mut latencies: Vec<u128> = Vec::new();
+    let mut final_stats = None;
+    for _ in 0..runs {
+        let (m, stats) = measure(|| Some(run_segmented(&mut seg_outputs)));
+        let Measurement::Done { time, .. } = m else {
+            unreachable!("closure always returns Some");
+        };
+        seg_walls.push(time.as_nanos());
+        latencies.extend(seg_outputs.iter().map(|(_, ns)| *ns));
+        final_stats = stats;
+    }
+    let final_stats = final_stats.expect("at least one run");
+    let mut rebuild_outputs: Vec<SearchOutput> = Vec::new();
+    let mut rebuild_walls: Vec<u128> = Vec::new();
+    for _ in 0..runs {
+        let (m, _) = measure(|| {
+            run_rebuild(&mut rebuild_outputs);
+            Some(())
+        });
+        let Measurement::Done { time, .. } = m else {
+            unreachable!("closure always returns Some");
+        };
+        rebuild_walls.push(time.as_nanos());
+    }
+
+    // The in-suite rebuild-equivalence assertion: the segmented engine
+    // and the rebuild-per-mutation oracle answered the same trace.
+    assert_eq!(seg_outputs.len(), rebuild_outputs.len());
+    let mut op_index = 0usize;
+    for op in &script {
+        match op {
+            LiveOp::Scan(_) => {
+                let (got, _) = &seg_outputs[op_index];
+                assert_eq!(
+                    &rebuild_outputs[op_index], got,
+                    "segmented scan diverged from rebuild at query {op_index}"
+                );
+                op_index += 1;
+            }
+            LiveOp::Ta(_) => {
+                let (got, _) = &seg_outputs[op_index];
+                let want = &rebuild_outputs[op_index];
+                assert!(
+                    got.total_score.approx_eq(want.total_score, 1e-9),
+                    "segmented TA optimum diverged at query {op_index}: {} vs {}",
+                    got.total_score,
+                    want.total_score
+                );
+                op_index += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let seg_wall = median(&mut seg_walls.clone());
+    let rebuild_wall = median(&mut rebuild_walls.clone());
+    let qps_segmented = queries as f64 / (seg_wall as f64 / 1e9);
+    let qps_rebuild = queries as f64 / (rebuild_wall as f64 / 1e9);
+    latencies.sort_unstable();
+    let p95_read_ns = latencies[((latencies.len() * 95) / 100).min(latencies.len() - 1)];
+    let score_sum: f64 = rebuild_outputs.iter().map(|o| o.total_score.get()).sum();
+    let read_total_ms: f64 = latencies.iter().map(|&ns| ns as f64 / 1e6).sum::<f64>() / runs as f64;
+    eprintln!(
+        "[live_update] segmented {qps_segmented:.1} q/s vs rebuild {qps_rebuild:.1} q/s \
+         ({:.2}x) · p95 read {:.2} ms (reads {:.0} of {:.0} ms wall) · {} segments · \
+         {} tombstones",
+        qps_segmented / qps_rebuild,
+        p95_read_ns as f64 / 1e6,
+        read_total_ms,
+        seg_wall as f64 / 1e6,
+        final_stats.segments,
+        final_stats.tombstones,
+    );
+    cells.push(Cell {
+        suite: "live_update",
+        algo: "engine-segmented",
+        kernel: "segments",
+        seed: 0,
+        n: base_docs,
+        edges: queries,
+        k,
+        wall_ns_runs: seg_walls,
+        wall_ns: seg_wall,
+        peak_bytes: 0,
+        score: Some(score_sum),
+    });
+    cells.push(Cell {
+        suite: "live_update",
+        algo: "searcher-rebuild",
+        kernel: "rebuild-per-mutation",
+        seed: 0,
+        n: base_docs,
+        edges: queries,
+        k,
+        wall_ns_runs: rebuild_walls,
+        wall_ns: rebuild_wall,
+        peak_bytes: 0,
+        score: Some(score_sum),
+    });
+    Some(LiveUpdateReport {
+        qps_segmented,
+        qps_rebuild,
+        p95_read_ns,
+        queries,
+        mutation_batches,
+        final_segments: final_stats.segments,
+        final_tombstones: final_stats.tombstones,
+        compactions: final_stats.compactions,
+    })
+}
+
 /// The pinned dense near-duplicate configuration behind the headline AB5
 /// speedup number (dense clusters ≈ near-dup chains; see DESIGN.md §3).
 /// Few large, very dense clusters: independence checks dominate the
@@ -526,7 +843,7 @@ fn dense_neardup_config(smoke: bool) -> ClusterConfig {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut smoke = false;
     let mut runs_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
@@ -686,6 +1003,10 @@ fn main() {
     // naive uncached searcher baseline (DESIGN.md §8).
     let throughput = serving_throughput_suite(&mut cells, smoke, runs, budget);
 
+    // Suite 6: live-update serving — interleaved add/delete/query trace,
+    // segmented engine vs rebuild-per-mutation baseline (DESIGN.md §9).
+    let live_update = live_update_suite(&mut cells, smoke, runs, budget);
+
     // Kernel oracle check: within a (suite, seed), the bitset and
     // sorted-vec div-astar cells must find the same best score.
     for suite in ["planted_default", "planted_dense_neardup"] {
@@ -785,12 +1106,53 @@ fn main() {
         );
     }
 
+    if let Some(report) = &live_update {
+        let speedup = report.qps_segmented / report.qps_rebuild;
+        summary_lines.push(format!(
+            "\"live_update_qps_segmented\": {:.3}",
+            report.qps_segmented
+        ));
+        summary_lines.push(format!(
+            "\"live_update_qps_rebuild\": {:.3}",
+            report.qps_rebuild
+        ));
+        summary_lines.push(format!("\"live_update_speedup\": {speedup:.3}"));
+        summary_lines.push(format!(
+            "\"live_update_p95_read_ns\": {}",
+            report.p95_read_ns
+        ));
+        summary_lines.push(format!("\"live_update_queries\": {}", report.queries));
+        summary_lines.push(format!(
+            "\"live_update_mutation_batches\": {}",
+            report.mutation_batches
+        ));
+        summary_lines.push(format!(
+            "\"live_update_final_segments\": {}",
+            report.final_segments
+        ));
+        summary_lines.push(format!(
+            "\"live_update_final_tombstones\": {}",
+            report.final_tombstones
+        ));
+        summary_lines.push(format!(
+            "\"live_update_compactions\": {}",
+            report.compactions
+        ));
+        eprintln!(
+            "[summary] live update: segmented engine {speedup:.2}x vs rebuild-per-mutation \
+             ({:.1} vs {:.1} q/s), p95 read {:.2} ms",
+            report.qps_segmented,
+            report.qps_rebuild,
+            report.p95_read_ns as f64 / 1e6
+        );
+    }
+
     let cell_json: Vec<String> = cells
         .iter()
         .map(|c| format!("    {}", c.to_json()))
         .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 3,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
+        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 4,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
         cell_json.join(",\n"),
         summary_lines.join(", "),
     );

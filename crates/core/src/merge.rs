@@ -39,6 +39,20 @@
 //!   non-increasing (running min) so downstream consumers see a monotone
 //!   `u` even if a shard's bound jitters.
 //!
+//! ## Tombstone filtering (the live-update hook)
+//!
+//! [`MergedSource::incremental_filtered`] / [`MergedSource::bounding_filtered`]
+//! take a predicate and silently drop every merged result it rejects — the
+//! segmented live-update index (DESIGN.md §9) uses this to hide tombstoned
+//! (deleted) documents at read time. Filtering **never touches the bound
+//! logic**: dropping a result only shrinks the unseen set, and an upper
+//! bound for a set bounds every subset, so the unfiltered bound stays
+//! sound verbatim. In incremental mode the last-*emitted* score is the
+//! bound (skipped results do not update it), which keeps the observable
+//! emission/bound sequence byte-identical to a merge over sources that
+//! never contained the filtered items at all — the rebuild-equivalence
+//! property the segment suite pins.
+//!
 //! All ties are broken by the item itself (then by source slot), which is
 //! why `S::Item: Ord` is required: repeated and re-sharded runs must yield
 //! identical emission orders (see DESIGN.md §8 on determinism).
@@ -112,9 +126,10 @@ enum MergeKind {
 /// assert!(merged.next_result().is_none());
 /// ```
 #[derive(Debug)]
-pub struct MergedSource<S: ResultSource>
+pub struct MergedSource<S: ResultSource, F = fn(&<S as ResultSource>::Item) -> bool>
 where
     S::Item: Ord,
+    F: Fn(&S::Item) -> bool,
 {
     sources: Vec<S>,
     /// True once `sources[i]` returned `None`; its reported bound then
@@ -122,6 +137,9 @@ where
     exhausted: Vec<bool>,
     heads: BinaryHeap<Head<S::Item>>,
     kind: MergeKind,
+    /// Items this predicate rejects are dropped instead of emitted
+    /// (tombstone filtering; `None` = emit everything).
+    filter: Option<F>,
     /// Score of the last result this merge emitted (incremental bound).
     last_emitted: Option<Score>,
     /// Running-min clamp for the bounding discipline: the merged bound
@@ -143,17 +161,40 @@ where
     /// the score of the last emitted result — exactly the behaviour of a
     /// single incremental source over the concatenated data.
     pub fn incremental(sources: Vec<S>) -> MergedSource<S> {
-        MergedSource::with_kind(sources, MergeKind::Incremental)
+        MergedSource::with_kind(sources, MergeKind::Incremental, None)
     }
 
     /// Merges **bounding** sources (arbitrary emission order, explicit
     /// unseen bounds). Emits the highest-scored buffered head first and
     /// reports `max(max_i bound_i, buffered heads)` clamped non-increasing.
     pub fn bounding(sources: Vec<S>) -> MergedSource<S> {
-        MergedSource::with_kind(sources, MergeKind::Bounding)
+        MergedSource::with_kind(sources, MergeKind::Bounding, None)
+    }
+}
+
+impl<S: ResultSource, F> MergedSource<S, F>
+where
+    S::Item: Ord,
+    F: Fn(&S::Item) -> bool,
+{
+    /// [`MergedSource::incremental`] with a tombstone filter: merged
+    /// results rejected by `filter` are dropped without being emitted and
+    /// **without updating the last-emitted bound**, so the observable
+    /// emission/bound sequence equals that of a merge over sources that
+    /// never contained the rejected items (see the module docs).
+    pub fn incremental_filtered(sources: Vec<S>, filter: F) -> MergedSource<S, F> {
+        MergedSource::with_kind(sources, MergeKind::Incremental, Some(filter))
     }
 
-    fn with_kind(mut sources: Vec<S>, kind: MergeKind) -> MergedSource<S> {
+    /// [`MergedSource::bounding`] with a tombstone filter. Rejected
+    /// results are dropped; the bound formula is unchanged (dropping a
+    /// result only shrinks the unseen set, so the unfiltered bound stays
+    /// sound) and still clamped non-increasing.
+    pub fn bounding_filtered(sources: Vec<S>, filter: F) -> MergedSource<S, F> {
+        MergedSource::with_kind(sources, MergeKind::Bounding, Some(filter))
+    }
+
+    fn with_kind(mut sources: Vec<S>, kind: MergeKind, filter: Option<F>) -> MergedSource<S, F> {
         let mut exhausted = vec![false; sources.len()];
         let mut heads = BinaryHeap::with_capacity(sources.len());
         for (slot, source) in sources.iter_mut().enumerate() {
@@ -171,6 +212,7 @@ where
             exhausted,
             heads,
             kind,
+            filter,
             last_emitted: None,
             clamp: None,
             cached_bound: UnseenBound::Unbounded,
@@ -232,39 +274,54 @@ where
     }
 }
 
-impl<S: ResultSource> ResultSource for MergedSource<S>
+impl<S: ResultSource, F> ResultSource for MergedSource<S, F>
 where
     S::Item: Ord,
+    F: Fn(&S::Item) -> bool,
 {
     type Item = S::Item;
 
     fn next_result(&mut self) -> Option<Scored<S::Item>> {
-        let head = self.heads.pop()?;
-        match self.sources[head.slot].next_result() {
-            Some(r) => {
-                debug_assert!(
-                    self.kind != MergeKind::Incremental || r.score <= head.score,
-                    "incremental merge requires per-source non-increasing scores \
-                     ({} after {})",
-                    r.score,
-                    head.score
-                );
-                self.heads.push(Head {
-                    score: r.score,
-                    item: r.item,
-                    slot: head.slot,
-                });
+        loop {
+            let head = self.heads.pop()?;
+            match self.sources[head.slot].next_result() {
+                Some(r) => {
+                    debug_assert!(
+                        self.kind != MergeKind::Incremental || r.score <= head.score,
+                        "incremental merge requires per-source non-increasing scores \
+                         ({} after {})",
+                        r.score,
+                        head.score
+                    );
+                    self.heads.push(Head {
+                        score: r.score,
+                        item: r.item,
+                        slot: head.slot,
+                    });
+                }
+                None => self.exhausted[head.slot] = true,
             }
-            None => self.exhausted[head.slot] = true,
+            debug_assert!(
+                self.kind != MergeKind::Incremental
+                    || self.last_emitted.is_none_or(|prev| head.score <= prev),
+                "incremental merge emitted an increasing score"
+            );
+            if self.filter.as_ref().is_some_and(|keep| !keep(&head.item)) {
+                // Tombstone-filtered: drop without emitting. The incremental
+                // last-emitted bound must not move (the rebuilt stream never
+                // saw this item); in bounding mode the dropped head no
+                // longer buffers here, so the bound may legitimately
+                // tighten — recompute (the running-min clamp keeps it
+                // monotone either way).
+                if self.kind == MergeKind::Bounding {
+                    self.recompute_bound();
+                }
+                continue;
+            }
+            self.last_emitted = Some(head.score);
+            self.recompute_bound();
+            return Some(Scored::new(head.item, head.score));
         }
-        debug_assert!(
-            self.kind != MergeKind::Incremental
-                || self.last_emitted.is_none_or(|prev| head.score <= prev),
-            "incremental merge emitted an increasing score"
-        );
-        self.last_emitted = Some(head.score);
-        self.recompute_bound();
-        Some(Scored::new(head.item, head.score))
     }
 
     fn unseen_bound(&self) -> UnseenBound {
@@ -423,6 +480,132 @@ mod tests {
         assert_eq!(single.num_sources(), 1);
         let got: Vec<Scored<u32>> = std::iter::from_fn(|| single.next_result()).collect();
         assert_eq!(got, items);
+    }
+
+    /// Filtered incremental merges behave exactly like a merge over
+    /// sources that never contained the filtered items: same emission,
+    /// same observable bound after each emission.
+    #[test]
+    fn filtered_incremental_merge_equals_merge_of_survivors() {
+        let mut rng = Pcg::new(23);
+        for trial in 0..50 {
+            let n = 1 + rng.below(40) as usize;
+            let shards_n = 1 + rng.below(5) as usize;
+            let mut items: Vec<Scored<u32>> = (0..n as u32)
+                .map(|id| Scored::new(id, Score::from(rng.below(9))))
+                .collect();
+            items.sort_by(|a, b| b.score.cmp(&a.score).then(a.item.cmp(&b.item)));
+            // Tombstone roughly a third of the items.
+            let dead: std::collections::BTreeSet<u32> =
+                (0..n as u32).filter(|_| rng.chance(0.35)).collect();
+            let survivors: Vec<Scored<u32>> = items
+                .iter()
+                .filter(|r| !dead.contains(&r.item))
+                .cloned()
+                .collect();
+            let full_sources: Vec<IncrementalVecSource<u32>> = split(&items, shards_n)
+                .into_iter()
+                .map(IncrementalVecSource::new)
+                .collect();
+            let survivor_sources: Vec<IncrementalVecSource<u32>> = split(&survivors, shards_n)
+                .into_iter()
+                .map(IncrementalVecSource::new)
+                .collect();
+            let mut filtered =
+                MergedSource::incremental_filtered(full_sources, |item: &u32| !dead.contains(item));
+            let mut clean = MergedSource::incremental(survivor_sources);
+            loop {
+                let a = filtered.next_result();
+                let b = clean.next_result();
+                assert_eq!(a, b, "trial {trial}: emission diverged");
+                // The *observable* bound sequence must agree too — that is
+                // what makes the framework run byte-identical.
+                assert_eq!(
+                    filtered.unseen_bound(),
+                    clean.unseen_bound(),
+                    "trial {trial}: bound diverged"
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Filtered bounding merges stay sound (every live unseen item is
+    /// covered) and monotone, even when the filtered item carried the
+    /// highest buffered head.
+    #[test]
+    fn filtered_bounding_merge_is_sound_and_monotone() {
+        let mut rng = Pcg::new(77);
+        for trial in 0..50 {
+            let n = 1 + rng.below(30) as usize;
+            let shards_n = 1 + rng.below(4) as usize;
+            let items: Vec<Scored<u32>> = (0..n as u32)
+                .map(|id| Scored::new(id, Score::from(rng.below(1000))))
+                .collect();
+            // Always tombstone the single highest-scored item (the
+            // bound-carrying head) plus a random sprinkle.
+            let top = items.iter().max().unwrap().item;
+            let dead: std::collections::BTreeSet<u32> = items
+                .iter()
+                .map(|r| r.item)
+                .filter(|&id| id == top || rng.chance(0.25))
+                .collect();
+            let sources: Vec<BoundingVecSource<u32>> = split(&items, shards_n)
+                .into_iter()
+                .map(BoundingVecSource::new)
+                .collect();
+            let mut merged =
+                MergedSource::bounding_filtered(sources, |item: &u32| !dead.contains(item));
+            let mut emitted: std::collections::BTreeSet<u32> = Default::default();
+            let mut prev_bound = f64::INFINITY;
+            loop {
+                let UnseenBound::At(bound) = merged.unseen_bound() else {
+                    panic!("bounding merge must always report a bound");
+                };
+                assert!(
+                    bound.get() <= prev_bound,
+                    "trial {trial}: bound rose {prev_bound} -> {bound}"
+                );
+                prev_bound = bound.get();
+                for it in &items {
+                    if !dead.contains(&it.item) && !emitted.contains(&it.item) {
+                        assert!(
+                            it.score <= bound,
+                            "trial {trial}: live unseen item {} above bound {bound}",
+                            it.item
+                        );
+                    }
+                }
+                match merged.next_result() {
+                    Some(r) => {
+                        assert!(
+                            !dead.contains(&r.item),
+                            "trial {trial}: emitted a tombstone"
+                        );
+                        emitted.insert(r.item);
+                    }
+                    None => break,
+                }
+            }
+            let live = items.iter().filter(|r| !dead.contains(&r.item)).count();
+            assert_eq!(emitted.len(), live, "trial {trial}: lost live items");
+        }
+    }
+
+    /// A filter that rejects everything yields an empty, well-behaved
+    /// stream (the all-documents-deleted edge case).
+    #[test]
+    fn filter_rejecting_everything_yields_empty_stream() {
+        let a = IncrementalVecSource::new(vec![Scored::new(0u32, s(9)), Scored::new(1, s(4))]);
+        let mut merged = MergedSource::incremental_filtered(vec![a], |_: &u32| false);
+        assert_eq!(merged.unseen_bound(), UnseenBound::Unbounded);
+        assert!(merged.next_result().is_none());
+        assert!(merged.is_exhausted());
+        // Never emitted anything → the incremental bound never materialized,
+        // exactly like a scan over an empty posting list.
+        assert_eq!(merged.unseen_bound(), UnseenBound::Unbounded);
     }
 
     /// The merged source is consumed by the framework unchanged and yields

@@ -1,46 +1,61 @@
-//! The serving engine: admission → cache → sharded merged search.
+//! The serving engine: admission → generation-scoped cache → segmented
+//! merged search, with live updates behind copy-on-write snapshots.
 //!
-//! [`Engine`] owns a [`ShardedCorpus`] and serves diversified top-k
-//! queries through the exact same [`divtopk_text::search::search_with_source`]
-//! path as the single-machine [`divtopk_text::DiversifiedSearcher`], with a
-//! [`MergedSource`] recombining one per-shard source per query:
+//! [`Engine`] owns an [`Arc`]-swapped [`SegmentedIndex`] snapshot and
+//! serves diversified top-k queries through the exact same
+//! [`divtopk_text::search::search_with_source`] path as the single-machine
+//! [`divtopk_text::DiversifiedSearcher`], with one
+//! [`divtopk_core::MergedSource`] recombining one per-segment source per
+//! query (tombstones filtered at the merge — DESIGN.md §9):
 //!
-//! * single-keyword queries merge per-shard posting-list scans in
-//!   **incremental** mode — the merged emission order and bound sequence
-//!   are *identical* to the unsharded scan's, so the whole framework run
-//!   (hits, metrics, early-stop point) is bit-for-bit reproduced;
-//! * multi-keyword queries merge per-shard threshold algorithms in
-//!   **bounding** mode — `max` of per-shard thresholds, which is never
-//!   looser than needed (and often tighter than the global threshold,
-//!   since one shard's lists decay independently of another's).
+//! * single-keyword queries merge per-segment posting-list scans in
+//!   **incremental** mode — emission and bound sequence *identical* to a
+//!   scan of the from-scratch rebuild of the surviving docs, so the whole
+//!   framework run (hits, metrics, early-stop point) is bit-for-bit that
+//!   of the rebuild;
+//! * multi-keyword queries merge per-segment threshold algorithms in
+//!   **bounding** mode — same exact optimum over the live set, reached
+//!   down a (often cheaper) different pull sequence.
 //!
-//! Admission validates [`SearchOptions`] once (`k ≥ 1`, `τ ∈ [0, 1]`,
-//! satellite bugfixes of this PR) before any shard is touched. Results are
-//! cached in an [`LruCache`] keyed on the *normalized* query (sorted,
-//! deduplicated terms), `k`, `τ` quantized to 1e-9, and the algorithm
-//! configuration fingerprint — so `"b a"` and `"a b"` at an equal τ share
-//! an entry, and the DisC-style "many (k, τ) operating points" workload
-//! pays for each point once.
+//! ## Snapshots and epochs
+//!
+//! Mutations ([`Engine::add_docs`], [`Engine::delete_docs`],
+//! [`Engine::compact`]) never touch state a reader can see: a writer
+//! clones the current [`SegmentedIndex`] (cheap — segments are `Arc`s;
+//! only what the mutation touches is deep-copied), applies the change, and
+//! swaps a fresh `Arc<Snapshot>` with a bumped **generation** counter.
+//! Every query pins one snapshot at admission and runs entirely against
+//! it, so in-flight queries are never torn across generations — they
+//! simply finish on the epoch they started on.
+//!
+//! The LRU cache key embeds the pinned generation, re-resolved **per
+//! query at cache-probe time** (also inside [`Engine::search_batch`], so a
+//! mutation mid-batch can never serve one query another generation's
+//! result). Entries of older generations become unreachable the instant a
+//! mutation lands — dead on arrival, reclaimed lazily by LRU eviction.
 //!
 //! Batches run on a scoped `std::thread` pool (no external dependencies):
 //! workers claim queries off an atomic cursor, so a slow query never
 //! convoys the rest of the batch behind it.
 
 use crate::cache::{CacheStats, LruCache};
-use crate::shard::ShardedCorpus;
-use divtopk_core::{MergedSource, SearchError};
+use divtopk_core::SearchError;
 use divtopk_text::corpus::Corpus;
-use divtopk_text::document::TermId;
+use divtopk_text::document::{DocId, Document, TermId};
 use divtopk_text::query::KeywordQuery;
-use divtopk_text::search::{SearchOptions, SearchOutput, search_with_source, validate_terms};
+use divtopk_text::search::{SearchOptions, SearchOutput};
+use divtopk_text::segments::SegmentedIndex;
 use std::collections::HashSet;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Engine deployment configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Number of corpus shards (≥ 1).
+    /// Number of base segments the initial corpus is partitioned into
+    /// (round-robin, ≥ 1) — the serving-parallelism axis; live additions
+    /// append further segments on top.
     pub shards: usize,
     /// LRU result-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
@@ -50,8 +65,8 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// A configuration with `shards` shards, a 4096-entry cache, and
-    /// auto-sized batch workers.
+    /// A configuration with `shards` base segments, a 4096-entry cache,
+    /// and auto-sized batch workers.
     pub fn new(shards: usize) -> EngineConfig {
         EngineConfig {
             shards,
@@ -74,7 +89,7 @@ impl EngineConfig {
 }
 
 impl Default for EngineConfig {
-    /// One shard, 4096-entry cache, auto-sized workers.
+    /// One base segment, 4096-entry cache, auto-sized workers.
     fn default() -> EngineConfig {
         EngineConfig::new(1)
     }
@@ -91,9 +106,15 @@ pub enum Query {
     Keywords(KeywordQuery),
 }
 
-/// Normalized cache key: `(query, k, τ quantized, algorithm fingerprint)`.
+/// Normalized cache key:
+/// `(generation, query, k, τ quantized, algorithm fingerprint)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
+    /// The snapshot generation the probing query pinned. Any mutation
+    /// bumps the engine's generation, so entries computed against an
+    /// older epoch can never be served to a younger query (and vice
+    /// versa) — the stale entries are simply unreachable and age out.
+    generation: u64,
     query: QueryKey,
     k: usize,
     /// `τ` quantized to 1e-9 steps — float keys need a stable identity,
@@ -114,7 +135,7 @@ enum QueryKey {
 }
 
 impl CacheKey {
-    fn new(query: &Query, options: &SearchOptions) -> CacheKey {
+    fn new(query: &Query, options: &SearchOptions, generation: u64) -> CacheKey {
         let query = match query {
             Query::Scan(term) => QueryKey::Scan(*term),
             Query::Keywords(q) => {
@@ -125,6 +146,7 @@ impl CacheKey {
             }
         };
         CacheKey {
+            generation,
             query,
             k: options.k,
             tau_q: (options.tau * 1e9).round() as u64,
@@ -155,15 +177,37 @@ pub struct EngineStats {
     pub cache_insertions: u64,
     /// Result-cache evictions.
     pub cache_evictions: u64,
-    /// Live result-cache entries.
+    /// Live result-cache entries (stale generations included until LRU
+    /// eviction reclaims them).
     pub cache_entries: usize,
+    /// Snapshot generation: 0 at build, +1 per effective mutation.
+    pub generation: u64,
+    /// Segments in the current snapshot (base partitions + live adds,
+    /// minus compactions).
+    pub segments: usize,
+    /// Tombstoned documents in the current snapshot.
+    pub tombstones: usize,
+    /// Compaction merges performed over the engine's lifetime.
+    pub compactions: u64,
 }
 
-/// The sharded, cached, concurrent serving engine (see module docs and
-/// the crate-level example).
+/// One immutable serving epoch: a generation number and the segmented
+/// index state queries of that epoch run against.
+#[derive(Debug)]
+struct Snapshot {
+    generation: u64,
+    index: SegmentedIndex,
+}
+
+/// The segmented, cached, concurrent, live-updatable serving engine (see
+/// module docs and the crate-level example).
 #[derive(Debug)]
 pub struct Engine {
-    sharded: ShardedCorpus,
+    /// The copy-on-write swap point: readers clone the `Arc` (pinning an
+    /// epoch), writers replace it.
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Serializes writers; readers never take it.
+    writer: Mutex<()>,
     cache: Mutex<LruCache<CacheKey, SearchOutput>>,
     cache_capacity: usize,
     /// Keys currently being computed by some caller (single-flight).
@@ -177,7 +221,8 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds the engine: shards the corpus, sizes the cache and pool.
+    /// Builds the engine: partitions the corpus into the base segments,
+    /// sizes the cache and pool.
     ///
     /// # Panics
     /// Panics if `config.shards == 0` (deployment configuration error).
@@ -188,7 +233,11 @@ impl Engine {
             config.threads
         };
         Engine {
-            sharded: ShardedCorpus::build(corpus, config.shards),
+            snapshot: RwLock::new(Arc::new(Snapshot {
+                generation: 0,
+                index: SegmentedIndex::build_partitioned(corpus, config.shards),
+            })),
+            writer: Mutex::new(()),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             cache_capacity: config.cache_capacity,
             inflight: Mutex::new(HashSet::new()),
@@ -200,14 +249,23 @@ impl Engine {
         }
     }
 
-    /// The global corpus behind the shards.
-    pub fn corpus(&self) -> &Corpus {
-        self.sharded.corpus()
+    /// Pins the current snapshot: the returned epoch stays fully readable
+    /// (and internally consistent) no matter how many mutations land
+    /// afterwards.
+    fn pin(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap())
     }
 
-    /// The shard layout.
-    pub fn sharded(&self) -> &ShardedCorpus {
-        &self.sharded
+    /// The corpus view of the current snapshot (all documents ever added,
+    /// frozen statistics epoch). A shared handle: it reflects the
+    /// generation current at call time and stays valid after mutations.
+    pub fn corpus(&self) -> Arc<Corpus> {
+        self.pin().index.shared_corpus()
+    }
+
+    /// The current snapshot generation (0 until the first mutation).
+    pub fn generation(&self) -> u64 {
+        self.pin().generation
     }
 
     /// Worker threads used by [`Engine::search_batch`].
@@ -215,25 +273,108 @@ impl Engine {
         self.threads
     }
 
+    /// Installs a mutated index as the next generation. Callers must hold
+    /// the writer lock.
+    fn install(&self, generation: u64, index: SegmentedIndex) {
+        *self.snapshot.write().unwrap() = Arc::new(Snapshot { generation, index });
+    }
+
+    /// Appends `docs` as one new immutable segment and publishes a new
+    /// snapshot generation. In-flight queries keep reading their pinned
+    /// epoch; queries admitted afterwards see the new documents. Returns
+    /// the assigned doc-id range (empty batches are no-ops that do not
+    /// bump the generation).
+    ///
+    /// # Panics
+    /// Panics if a document references a term outside the frozen
+    /// vocabulary (the statistics epoch cannot grow mid-flight).
+    pub fn add_docs(&self, docs: Vec<Document>) -> Range<DocId> {
+        let _writer = self.writer.lock().unwrap();
+        let current = self.pin();
+        if docs.is_empty() {
+            let n = current.index.num_docs() as DocId;
+            return n..n;
+        }
+        let mut index = current.index.clone();
+        let range = index.add_docs(docs);
+        self.install(current.generation + 1, index);
+        range
+    }
+
+    /// Tokenizes `text` against the frozen vocabulary (stop words and
+    /// out-of-vocabulary terms dropped) and adds it as a one-document
+    /// segment. Returns the new doc id.
+    pub fn add_text(&self, title: &str, text: &str) -> DocId {
+        let _writer = self.writer.lock().unwrap();
+        let current = self.pin();
+        let mut index = current.index.clone();
+        let id = index.add_text(title, text);
+        self.install(current.generation + 1, index);
+        id
+    }
+
+    /// Tombstones the given documents and publishes a new snapshot
+    /// generation (unless nothing was newly deleted). Returns how many
+    /// documents were newly deleted.
+    ///
+    /// # Panics
+    /// Panics on a doc id that was never allocated.
+    pub fn delete_docs(&self, docs: &[DocId]) -> usize {
+        let _writer = self.writer.lock().unwrap();
+        let current = self.pin();
+        let mut index = current.index.clone();
+        let deleted = index.delete_docs(docs);
+        if deleted > 0 {
+            self.install(current.generation + 1, index);
+        }
+        deleted
+    }
+
+    /// Runs one size-tiered compaction step (merging the smallest tier of
+    /// segments, purging tombstoned postings) and publishes a new
+    /// generation if anything merged. Returns the number of segments
+    /// merged away (0 = nothing to do).
+    pub fn compact(&self) -> usize {
+        let _writer = self.writer.lock().unwrap();
+        let current = self.pin();
+        let mut index = current.index.clone();
+        let merged = index.compact();
+        if merged > 0 {
+            self.install(current.generation + 1, index);
+        }
+        merged
+    }
+
+    /// Diagnostic: verifies the current snapshot's rebuild-equivalence
+    /// invariant directly on the data (see
+    /// [`SegmentedIndex::verify_rebuild_equivalence`]). The `live_update`
+    /// perfbase suite runs this on every benchmark run.
+    pub fn verify_rebuild_equivalence(&self) -> Result<(), String> {
+        self.pin().index.verify_rebuild_equivalence()
+    }
+
     /// Serves one query: admission validation (options *and* query terms
-    /// — malformed input is a typed error, never a worker panic), cache
-    /// lookup, then the sharded merged search on a miss. Cache hits
-    /// return a clone of the original [`SearchOutput`], bit-identical
-    /// metrics included. Concurrent misses on the same key are
-    /// **single-flighted**: one caller computes, the rest wait and serve
-    /// the cached result (the expensive search never runs W times for W
-    /// duplicate queries in a batch).
+    /// — malformed input is a typed error, never a worker panic), a
+    /// snapshot pin, cache lookup under the pinned generation, then the
+    /// segmented merged search on a miss. Cache hits return a clone of
+    /// the original [`SearchOutput`], bit-identical metrics included.
+    /// Concurrent misses on the same key are **single-flighted**: one
+    /// caller computes, the rest wait and serve the cached result.
     pub fn search(
         &self,
         query: &Query,
         options: &SearchOptions,
     ) -> Result<SearchOutput, SearchError> {
+        // Pin one epoch for the query's whole lifetime: admission, cache
+        // probe, and execution all see the same generation, so a mutation
+        // landing mid-query can never tear the answer.
+        let snap = self.pin();
         let admission = options.validate().and_then(|()| {
             let terms: &[TermId] = match query {
                 Query::Scan(term) => std::slice::from_ref(term),
                 Query::Keywords(q) => &q.terms,
             };
-            validate_terms(terms, self.sharded.shard_index(0))
+            snap.index.validate_terms(terms)
         });
         if let Err(e) = admission {
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -243,9 +384,9 @@ impl Engine {
         if self.cache_capacity == 0 {
             // Caching disabled: no store to single-flight against (and no
             // point paying for key normalization on the uncached path).
-            return self.execute(query, options);
+            return Engine::execute(&snap, query, options);
         }
-        let key = CacheKey::new(query, options);
+        let key = CacheKey::new(query, options, snap.generation);
         loop {
             // The cache lookup happens *under* the inflight lock: a
             // computer inserts into the cache before removing its
@@ -291,7 +432,7 @@ impl Engine {
         };
         // Compute outside every lock: a slow query must serialize neither
         // the serving tier (cache mutex) nor unrelated misses (inflight).
-        let result = self.execute(query, options);
+        let result = Engine::execute(&snap, query, options);
         if let Ok(out) = &result {
             self.cache.lock().unwrap().insert(key.clone(), out.clone());
         }
@@ -302,8 +443,11 @@ impl Engine {
     }
 
     /// Executes a batch concurrently on the scoped worker pool; results
-    /// come back in input order. Each query is admitted/cached exactly as
-    /// in [`Engine::search`].
+    /// come back in input order. Each query is admitted, **snapshot-
+    /// pinned, and generation-checked at its own cache probe** exactly as
+    /// in [`Engine::search`] — a mutation landing mid-batch moves later
+    /// queries to the new generation but can never serve them another
+    /// epoch's cached result.
     pub fn search_batch(
         &self,
         batch: &[(Query, SearchOptions)],
@@ -342,8 +486,11 @@ impl Engine {
             .collect()
     }
 
-    /// Counter snapshot (queries, rejections, batches, cache behaviour).
+    /// Counter snapshot (queries, rejections, batches, cache behaviour,
+    /// plus the live-update state: generation, segments, tombstones,
+    /// compactions).
     pub fn stats(&self) -> EngineStats {
+        let snap = self.pin();
         let cache = self.cache.lock().unwrap();
         let cache_stats: CacheStats = cache.stats();
         EngineStats {
@@ -355,21 +502,21 @@ impl Engine {
             cache_insertions: cache_stats.insertions,
             cache_evictions: cache_stats.evictions,
             cache_entries: cache.len(),
+            generation: snap.generation,
+            segments: snap.index.num_segments(),
+            tombstones: snap.index.tombstones(),
+            compactions: snap.index.compactions(),
         }
     }
 
-    fn execute(&self, query: &Query, options: &SearchOptions) -> Result<SearchOutput, SearchError> {
-        let corpus = self.sharded.corpus();
-        let weights = self.sharded.weights();
+    fn execute(
+        snap: &Snapshot,
+        query: &Query,
+        options: &SearchOptions,
+    ) -> Result<SearchOutput, SearchError> {
         match query {
-            Query::Scan(term) => {
-                let merged = MergedSource::incremental(self.sharded.scan_sources(*term));
-                search_with_source(corpus, weights, merged, options)
-            }
-            Query::Keywords(q) => {
-                let merged = MergedSource::bounding(self.sharded.ta_sources(q));
-                search_with_source(corpus, weights, merged, options)
-            }
+            Query::Scan(term) => snap.index.search_scan(*term, options),
+            Query::Keywords(q) => snap.index.search_ta(q, options),
         }
     }
 }
@@ -388,10 +535,18 @@ mod tests {
     }
 
     fn popular_term(e: &Engine) -> TermId {
-        let index = e.sharded().shard_index(0);
-        (0..e.corpus().num_terms() as TermId)
-            .max_by_key(|&t| index.postings(t).len())
+        let corpus = e.corpus();
+        (0..corpus.num_terms() as TermId)
+            .max_by_key(|&t| corpus.doc_freq(t))
             .unwrap()
+    }
+
+    fn donor_docs(range: std::ops::Range<u32>) -> Vec<Document> {
+        let donor = generate(&SynthConfig {
+            num_docs: range.end as usize,
+            ..SynthConfig::tiny()
+        });
+        range.map(|d| donor.doc(d).clone()).collect()
     }
 
     #[test]
@@ -419,9 +574,10 @@ mod tests {
     fn cache_key_normalizes_term_order_but_not_operating_point() {
         let e = engine(2);
         let t1 = popular_term(&e);
-        let t2 = (0..e.corpus().num_terms() as TermId)
+        let corpus = e.corpus();
+        let t2 = (0..corpus.num_terms() as TermId)
             .filter(|&t| t != t1)
-            .max_by_key(|&t| e.sharded().shard_index(0).postings(t).len())
+            .max_by_key(|&t| corpus.doc_freq(t))
             .unwrap();
         let options = SearchOptions::new(3).with_tau(0.5);
         let ab = KeywordQuery {
@@ -540,5 +696,99 @@ mod tests {
         let stats = e.stats();
         assert_eq!(stats.cache_insertions, 1);
         assert_eq!(stats.queries, 8);
+    }
+
+    #[test]
+    fn mutations_bump_generation_and_surface_in_stats() {
+        let e = engine(2);
+        assert_eq!(e.generation(), 0);
+        let stats = e.stats();
+        assert_eq!((stats.generation, stats.segments), (0, 2));
+        assert_eq!((stats.tombstones, stats.compactions), (0, 0));
+
+        let range = e.add_docs(donor_docs(200..212));
+        assert_eq!(range, 200..212);
+        assert_eq!(e.generation(), 1);
+        assert_eq!(e.stats().segments, 3);
+
+        assert_eq!(e.delete_docs(&[201, 202]), 2);
+        assert_eq!(e.generation(), 2);
+        assert_eq!(e.stats().tombstones, 2);
+        // Deleting nothing new does not publish a generation.
+        assert_eq!(e.delete_docs(&[201]), 0);
+        assert_eq!(e.generation(), 2);
+
+        // Add two more small segments, then compact the small tier away.
+        e.add_docs(donor_docs(212..220));
+        e.add_docs(donor_docs(220..228));
+        assert_eq!(e.stats().segments, 5);
+        assert!(e.compact() >= 2);
+        let stats = e.stats();
+        assert_eq!(stats.compactions, 1);
+        assert!(stats.segments < 5);
+        e.verify_rebuild_equivalence().unwrap();
+        // Empty add is a no-op.
+        let g = e.generation();
+        let n = e.corpus().num_docs() as DocId;
+        assert_eq!(e.add_docs(Vec::new()), n..n);
+        assert_eq!(e.generation(), g);
+    }
+
+    #[test]
+    fn added_docs_become_searchable_and_deleted_docs_vanish() {
+        let e = engine(2);
+        let term = popular_term(&e);
+        let options = SearchOptions::new(4).with_tau(0.5);
+        let before = e.search(&Query::Scan(term), &options).unwrap();
+        assert!(!before.hits.is_empty());
+        let top = before.hits[0].doc;
+        e.delete_docs(&[top]);
+        let after = e.search(&Query::Scan(term), &options).unwrap();
+        assert!(
+            after.hits.iter().all(|h| h.doc != top),
+            "deleted doc still served"
+        );
+        // Re-adding a fresh copy of the deleted doc's content brings an
+        // equally scored hit back under a new id.
+        let copy = e.corpus().doc(top).clone();
+        let range = e.add_docs(vec![copy]);
+        let readded = e.search(&Query::Scan(term), &options).unwrap();
+        assert!(
+            readded.hits.iter().any(|h| h.doc == range.start),
+            "re-added doc not served"
+        );
+    }
+
+    /// The satellite bugfix pinned as a unit test: cache probes resolve
+    /// the generation per query, so a mutation between two identical
+    /// queries (or mid-batch) can never serve a pre-mutation result
+    /// post-mutation.
+    #[test]
+    fn cache_cannot_serve_across_generations() {
+        let e = engine(2);
+        let term = popular_term(&e);
+        let options = SearchOptions::new(4).with_tau(0.5);
+        let batch: Vec<(Query, SearchOptions)> = vec![(Query::Scan(term), options.clone()); 3];
+        let first = e.search_batch(&batch);
+        let hits_before = e.stats().cache_hits;
+        assert!(hits_before >= 1, "duplicates must hit within a generation");
+        let top = first[0].as_ref().unwrap().hits[0].doc;
+        e.delete_docs(&[top]);
+        // Same batch again: the old generation's entry is unreachable, so
+        // the first probe misses, recomputes against the new snapshot, and
+        // only *then* duplicates hit again.
+        let second = e.search_batch(&batch);
+        for out in &second {
+            let out = out.as_ref().unwrap();
+            assert!(
+                out.hits.iter().all(|h| h.doc != top),
+                "post-mutation query served a pre-mutation cached result"
+            );
+        }
+        let stats = e.stats();
+        assert_eq!(
+            stats.cache_insertions, 2,
+            "one computation per generation, duplicates single-flighted"
+        );
     }
 }

@@ -1,26 +1,31 @@
-//! # divtopk-engine — sharded concurrent serving for diversified top-k
+//! # divtopk-engine — live-updatable concurrent serving for diversified top-k
 //!
 //! The paper's `div-search` framework (Algorithm 3) needs exactly one thing
 //! from its retrieval tier: a [`divtopk_core::ResultSource`] with a valid
-//! unseen bound. That contract **composes across shards** — the max of
-//! per-shard bounds is a sound global bound (see [`divtopk_core::merge`]) —
-//! so this crate scales the single-machine searcher into a serving engine
-//! without touching the exactness proofs (Lemmas 1–3):
+//! unseen-score bound. That contract **composes across disjoint document
+//! partitions** — the max of per-partition bounds is a sound global bound
+//! (see [`divtopk_core::merge`]) — and it **survives deletion** — removing
+//! candidates only shrinks the unseen set, so an unchanged bound stays
+//! valid. This crate leans on both halves to scale the single-machine
+//! searcher into a serving engine over a *mutating* corpus without
+//! touching the exactness proofs (Lemmas 1–3):
 //!
-//! * [`shard::ShardedCorpus`] — the corpus and inverted index partitioned
-//!   into `S` independent shards with stable doc-id remapping; per-shard
-//!   posting lists are exact subsequences of the global ones, with
-//!   bit-identical scores (global IDF / length statistics).
+//! * [`divtopk_text::segments::SegmentedIndex`] — an append-only sequence
+//!   of immutable index segments with tombstoned deletes and size-tiered
+//!   compaction, pinned to a from-scratch rebuild by a property suite
+//!   (DESIGN.md §9); the base corpus is partitioned round-robin into
+//!   `shards` segments exactly as PR 3's [`shard::ShardedCorpus`] did.
 //! * [`divtopk_core::MergedSource`] — a binary-heap k-way merge of one
-//!   [`divtopk_text::ScanSource`] / [`divtopk_text::TaSource`] per shard;
-//!   the framework consumes it unchanged, so sharded answers are exactly
-//!   the single-shard answers (property-tested in `tests/engine.rs`).
-//! * [`engine::Engine`] — owns the shards, validates
-//!   [`divtopk_text::SearchOptions`] once at admission, executes query
-//!   batches on a scoped `std::thread` pool, and keeps a capacity-bounded
-//!   LRU result cache ([`cache::LruCache`]) keyed on
-//!   `(normalized query, k, τ quantized, algorithm)` with hit / miss /
-//!   eviction counters.
+//!   [`divtopk_text::ScanSource`] / [`divtopk_text::TaSource`] per
+//!   segment, with tombstones filtered at the merge; the framework
+//!   consumes it unchanged.
+//! * [`engine::Engine`] — owns an `Arc`-swapped copy-on-write snapshot:
+//!   writers ([`engine::Engine::add_docs`] /
+//!   [`engine::Engine::delete_docs`] / [`engine::Engine::compact`])
+//!   publish a new generation while in-flight queries finish on their
+//!   pinned epoch; the LRU result cache ([`cache::LruCache`]) keys on
+//!   `(generation, normalized query, k, τ quantized, algorithm)`, so a
+//!   mutation instantly orphans every stale entry.
 //!
 //! ```
 //! use divtopk_engine::prelude::*;
@@ -32,16 +37,20 @@
 //! let term = (0..engine.corpus().num_terms() as TermId)
 //!     .max_by_key(|&t| engine.corpus().doc_freq(t))
 //!     .unwrap();
-//! let out = engine
-//!     .search(&Query::Scan(term), &SearchOptions::new(3).with_tau(0.5))
-//!     .unwrap();
+//! let options = SearchOptions::new(3).with_tau(0.5);
+//! let out = engine.search(&Query::Scan(term), &options).unwrap();
 //! assert!(out.hits.len() <= 3);
 //! // Same query again: served from the cache, bit-identical.
-//! let again = engine
-//!     .search(&Query::Scan(term), &SearchOptions::new(3).with_tau(0.5))
-//!     .unwrap();
+//! let again = engine.search(&Query::Scan(term), &options).unwrap();
 //! assert_eq!(out, again);
 //! assert_eq!(engine.stats().cache_hits, 1);
+//! // Live update: delete the top hit — the next query (a new snapshot
+//! // generation, so no stale cache entry can answer it) moves on.
+//! let top = out.hits[0].doc;
+//! engine.delete_docs(&[top]);
+//! let fresh = engine.search(&Query::Scan(term), &options).unwrap();
+//! assert!(fresh.hits.iter().all(|h| h.doc != top));
+//! assert_eq!(engine.stats().generation, 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -56,6 +65,7 @@ pub mod prelude {
     pub use crate::cache::{CacheStats, LruCache};
     pub use crate::engine::{Engine, EngineConfig, EngineStats, Query};
     pub use crate::shard::ShardedCorpus;
+    pub use divtopk_text::segments::SegmentedIndex;
 }
 
 pub use prelude::*;

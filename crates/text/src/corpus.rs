@@ -4,19 +4,27 @@ use crate::document::{DocId, Document, TermId};
 use crate::stopwords::is_stopword;
 use crate::tokenize::tokenize;
 use crate::vocab::Vocabulary;
+use std::sync::Arc;
 
 /// An in-memory corpus with everything Eq. 3 / Eq. 4 need precomputed:
 /// per-term document frequencies and the IDF table.
+///
+/// The statistics (vocabulary, df, IDF) live behind [`Arc`]s: they are
+/// immutable after [`CorpusBuilder::build`] — [`Corpus::append_frozen`]
+/// adds documents *without* touching them — so clones share the tables.
+/// This is what makes the live-update path's copy-on-write snapshots
+/// affordable: cloning a corpus epoch pays for the document list only,
+/// never for re-copying a production-sized vocabulary.
 #[derive(Debug, Clone)]
 pub struct Corpus {
-    vocab: Vocabulary,
+    vocab: Arc<Vocabulary>,
     docs: Vec<Document>,
-    doc_freq: Vec<u32>,
+    doc_freq: Arc<Vec<u32>>,
     /// `idf(t) = max(0, ln(N / (df(t) + 1)))` — clamped at zero so scores
     /// and Jaccard weights stay non-negative (terms present in almost every
     /// document otherwise get a (small) negative IDF, which would break the
     /// score invariants; ranking shape is unaffected).
-    idf: Vec<f64>,
+    idf: Arc<Vec<f64>>,
 }
 
 impl Corpus {
@@ -76,6 +84,38 @@ impl Corpus {
     pub fn max_doc_freq(&self) -> u32 {
         self.doc_freq.iter().copied().max().unwrap_or(0)
     }
+
+    /// Appends documents **without touching the statistics epoch**: the
+    /// vocabulary, document frequencies, and IDF table stay exactly as
+    /// [`CorpusBuilder::build`] computed them, so every already-indexed
+    /// posting's partial score remains bit-exact while the new documents
+    /// are scored under the same frozen weights. This is the substrate of
+    /// the live-update path ([`crate::segments`]): immutable index
+    /// segments are only possible if the corpus-global statistics they
+    /// bake in cannot drift underneath them. Statistics are refreshed by
+    /// building a fresh corpus (a new epoch), never in place.
+    ///
+    /// Returns the id range assigned to the new documents.
+    ///
+    /// # Panics
+    /// Panics if a document references a term outside the frozen
+    /// vocabulary (live additions cannot grow the vocabulary mid-epoch).
+    pub fn append_frozen(
+        &mut self,
+        docs: impl IntoIterator<Item = Document>,
+    ) -> std::ops::Range<DocId> {
+        let start = self.docs.len() as DocId;
+        for doc in docs {
+            assert!(
+                doc.terms
+                    .iter()
+                    .all(|&(t, _)| (t as usize) < self.vocab.len()),
+                "appended document references a term outside the frozen vocabulary"
+            );
+            self.docs.push(doc);
+        }
+        start..self.docs.len() as DocId
+    }
 }
 
 /// Incremental corpus builder.
@@ -120,6 +160,24 @@ impl CorpusBuilder {
         id
     }
 
+    /// Adds an already-built [`Document`] (e.g. one carried over from
+    /// another corpus sharing the same vocabulary — how the live-update
+    /// bench derives its base epoch from a larger generated corpus).
+    ///
+    /// # Panics
+    /// Panics if the document references a term outside the vocabulary.
+    pub fn add_document(&mut self, doc: Document) -> DocId {
+        assert!(
+            doc.terms
+                .iter()
+                .all(|&(t, _)| (t as usize) < self.vocab.len()),
+            "document references a term outside the vocabulary"
+        );
+        let id = self.docs.len() as DocId;
+        self.docs.push(doc);
+        id
+    }
+
     /// Number of documents added so far.
     pub fn len(&self) -> usize {
         self.docs.len()
@@ -151,10 +209,10 @@ impl CorpusBuilder {
             })
             .collect();
         Corpus {
-            vocab: self.vocab,
+            vocab: Arc::new(self.vocab),
             docs: self.docs,
-            doc_freq,
-            idf,
+            doc_freq: Arc::new(doc_freq),
+            idf: Arc::new(idf),
         }
     }
 }
@@ -225,5 +283,42 @@ mod tests {
         let c = Corpus::builder().build();
         assert_eq!(c.num_docs(), 0);
         assert_eq!(c.max_doc_freq(), 0);
+    }
+
+    #[test]
+    fn append_frozen_keeps_the_statistics_epoch_pinned() {
+        let mut c = tiny_corpus();
+        let fox = c.term_id("fox").unwrap();
+        let idf_before: Vec<f64> = c.idf_table().to_vec();
+        let df_before = c.doc_freq(fox);
+        let range = c.append_frozen(vec![
+            Document::from_tokens("new".into(), vec![fox, fox]),
+            Document::from_tokens("empty".into(), vec![]),
+        ]);
+        assert_eq!(range, 3..5);
+        assert_eq!(c.num_docs(), 5);
+        assert_eq!(c.doc(3).tf(fox), 2);
+        // Frozen epoch: df and idf are untouched by the append.
+        assert_eq!(c.doc_freq(fox), df_before);
+        assert_eq!(c.idf_table(), idf_before.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen vocabulary")]
+    fn append_frozen_rejects_out_of_vocabulary_terms() {
+        let mut c = tiny_corpus();
+        let bogus = c.num_terms() as TermId;
+        c.append_frozen(vec![Document::from_tokens("bad".into(), vec![bogus])]);
+    }
+
+    #[test]
+    fn builder_add_document_round_trips() {
+        let mut b = CorpusBuilder::with_synthetic_vocab(6);
+        let doc = Document::from_tokens("carried".into(), vec![1, 1, 5]);
+        let id = b.add_document(doc.clone());
+        assert_eq!(id, 0);
+        let c = b.build();
+        assert_eq!(c.doc(0), &doc);
+        assert_eq!(c.doc_freq(1), 1);
     }
 }

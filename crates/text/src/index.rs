@@ -44,10 +44,28 @@ impl InvertedIndex {
     /// tie-break reproduces the unsharded scan order exactly
     /// (`divtopk-engine` property-tests this).
     pub fn build_where(corpus: &Corpus, keep: impl Fn(DocId) -> bool) -> InvertedIndex {
+        InvertedIndex::build_from_ids(corpus, (0..corpus.num_docs() as DocId).filter(|&d| keep(d)))
+    }
+
+    /// Builds the index over only the documents in `range` — the segment
+    /// construction primitive of the live-update path ([`crate::segments`]):
+    /// O(range) work instead of a full corpus rescan, with the exact same
+    /// global statistics and `(partial desc, doc asc)` ordering as
+    /// [`InvertedIndex::build_where`] over the same documents, so segment
+    /// postings are bit-identical to a from-scratch rebuild's.
+    pub fn build_range(corpus: &Corpus, range: std::ops::Range<DocId>) -> InvertedIndex {
+        assert!(
+            range.end as usize <= corpus.num_docs(),
+            "doc range {range:?} outside corpus"
+        );
+        InvertedIndex::build_from_ids(corpus, range)
+    }
+
+    fn build_from_ids(corpus: &Corpus, ids: impl Iterator<Item = DocId>) -> InvertedIndex {
         let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); corpus.num_terms()];
-        for (doc_idx, doc) in corpus.docs().iter().enumerate() {
-            let doc_id = doc_idx as DocId;
-            if doc.len == 0 || !keep(doc_id) {
+        for doc_id in ids {
+            let doc = corpus.doc(doc_id);
+            if doc.len == 0 {
                 continue;
             }
             let inv_sqrt_len = 1.0 / (doc.len as f64).sqrt();
@@ -61,14 +79,28 @@ impl InvertedIndex {
             }
         }
         for list in &mut lists {
-            list.sort_by(|a, b| {
-                b.partial
-                    .partial_cmp(&a.partial)
-                    .expect("partial scores are finite")
-                    .then(a.doc.cmp(&b.doc))
-            });
+            list.sort_by(posting_order);
         }
         InvertedIndex { lists }
+    }
+
+    /// Assembles an index directly from per-term posting lists that are
+    /// already in `(partial desc, doc asc)` order — the compaction
+    /// primitive: merging segment lists posting-by-posting preserves the
+    /// stored `partial` bits exactly, where a rescore could only *equal*
+    /// them. Debug builds verify the ordering invariant.
+    pub(crate) fn from_sorted_lists(lists: Vec<Vec<Posting>>) -> InvertedIndex {
+        debug_assert!(lists.iter().all(|list| {
+            list.windows(2)
+                .all(|w| posting_order(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+        }));
+        InvertedIndex { lists }
+    }
+
+    /// The posting-list total order every build and merge in this crate
+    /// uses: partial score descending, ties by ascending doc id.
+    pub fn posting_order(a: &Posting, b: &Posting) -> std::cmp::Ordering {
+        posting_order(a, b)
     }
 
     /// The posting list for `term` (sorted by partial score, descending).
@@ -85,6 +117,15 @@ impl InvertedIndex {
     pub fn num_postings(&self) -> usize {
         self.lists.iter().map(|l| l.len()).sum()
     }
+}
+
+/// `(partial desc, doc asc)` — the one true posting order (see
+/// [`InvertedIndex::posting_order`]).
+fn posting_order(a: &Posting, b: &Posting) -> std::cmp::Ordering {
+    b.partial
+        .partial_cmp(&a.partial)
+        .expect("partial scores are finite")
+        .then(a.doc.cmp(&b.doc))
 }
 
 #[cfg(test)]
@@ -182,6 +223,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn build_range_is_bit_identical_to_build_where_over_the_same_docs() {
+        let c = crate::synth::generate(&crate::synth::SynthConfig {
+            num_docs: 90,
+            ..crate::synth::SynthConfig::tiny()
+        });
+        for (start, end) in [(0u32, 30u32), (30, 75), (75, 90), (40, 40)] {
+            let ranged = InvertedIndex::build_range(&c, start..end);
+            let filtered = InvertedIndex::build_where(&c, |d| (start..end).contains(&d));
+            assert_eq!(ranged.num_terms(), filtered.num_terms());
+            for t in 0..c.num_terms() as TermId {
+                let a = ranged.postings(t);
+                let b = filtered.postings(t);
+                assert_eq!(a.len(), b.len(), "term {t} range {start}..{end}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.doc, y.doc);
+                    assert_eq!(x.tf, y.tf);
+                    assert_eq!(x.partial.to_bits(), y.partial.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside corpus")]
+    fn build_range_rejects_out_of_bounds() {
+        let c = corpus();
+        let _ = InvertedIndex::build_range(&c, 0..99);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod quality;
 pub mod query;
 pub mod scan;
 pub mod search;
+pub mod segments;
 pub mod stopwords;
 pub mod synth;
 pub mod ta;
@@ -70,6 +71,7 @@ pub mod prelude {
         DiversifiedSearcher, Hit, SearchOptions, SearchOutput, doc_weights, search_with_source,
         validate_terms,
     };
+    pub use crate::segments::{Segment, SegmentedIndex, Tombstones};
     pub use crate::synth::{SynthConfig, generate};
     pub use crate::ta::TaSource;
     pub use crate::tfidf::{partial_score, score};

@@ -107,14 +107,20 @@ impl<'a> TaSource<'a> {
                 self.sorted_accesses += 1;
                 if self.seen.insert(posting.doc) {
                     // Random accesses for the other query terms (Eq. 3).
-                    let mut total = posting.partial;
-                    for (i, &t) in self.query.iter().enumerate() {
-                        if i != j {
-                            total += tfidf::partial_score(self.corpus, t, posting.doc);
-                            self.random_accesses += 1;
-                        }
-                    }
-                    round.push(Scored::new(posting.doc, Score::new(total)));
+                    // The full score is recomputed canonically — every
+                    // term in ascending order through the same
+                    // [`tfidf::score`] expression — rather than seeded
+                    // from the surfacing posting's stored partial. Float
+                    // addition is not associative, so a surfacing-order
+                    // sum differs in the last ulp depending on *which
+                    // list happened to see the document first*; that
+                    // breaks exact hit equality between a segmented
+                    // index and its from-scratch rebuild (tests/
+                    // segments.rs) and between shard layouts. This way
+                    // an emitted score is bit-for-bit Eq. 3.
+                    let total = tfidf::score(self.corpus, &self.query, posting.doc);
+                    self.random_accesses += self.query.len() as u64 - 1;
+                    round.push(Scored::new(posting.doc, total));
                 }
             }
             round.sort_by(|a, b| b.score.cmp(&a.score).then(a.item.cmp(&b.item)));

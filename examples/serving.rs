@@ -21,9 +21,9 @@ fn main() {
     let build_start = Instant::now();
     let engine = Engine::new(corpus, EngineConfig::new(4).with_cache_capacity(1024));
     println!(
-        "engine up: {} docs, {} shards, {} batch worker(s), built in {:.2?}",
+        "engine up: {} docs, {} base segments, {} batch worker(s), built in {:.2?}",
         num_docs,
-        engine.sharded().num_shards(),
+        engine.stats().segments,
         engine.threads(),
         build_start.elapsed(),
     );
@@ -33,7 +33,7 @@ fn main() {
     let mut distinct: Vec<(Query, SearchOptions)> = Vec::new();
     for band in 1..=3u8 {
         for seed in 0..4u64 {
-            if let Some(q) = query_for_band(engine.corpus(), band, 2, 1000 + seed) {
+            if let Some(q) = query_for_band(&engine.corpus(), band, 2, 1000 + seed) {
                 distinct.push((
                     Query::Keywords(q),
                     SearchOptions::new(10).with_tau(0.6).with_bound_decay(0.005),
