@@ -29,17 +29,29 @@
 //! oracle (byte-identical for scans, equal optima for TA), and finishes
 //! with the data-level `verify_rebuild_equivalence` check.
 //!
+//! The **cold start** suite measures restart both ways — snapshot load
+//! (`Engine::load_snapshot`, DESIGN.md §10) versus rebuilding the same
+//! serving state from the in-memory documents (vocabulary + statistics +
+//! index + weights + tombstone replay) — asserting, before any timing,
+//! that the loaded engine answers byte-identically to the engine that
+//! saved the snapshot.
+//!
 //! ```text
-//! cargo run --release -p divtopk-bench --bin perfbase              # full → BENCH_4.json
+//! cargo run --release -p divtopk-bench --bin perfbase              # full → BENCH_5.json
 //! cargo run --release -p divtopk-bench --bin perfbase -- --smoke   # tiny CI variant
 //! cargo run --release -p divtopk-bench --bin perfbase -- --out target/BENCH.json --runs 7
+//! cargo run --release -p divtopk-bench --bin perfbase -- --verify target/BENCH.json
 //! ```
 //!
 //! The binary validates its own output (strict JSON well-formedness and a
 //! non-empty cell list) and exits non-zero on any inconsistency, including
 //! a best-score disagreement between the two kernels on the same cell and
-//! any sharded-vs-unsharded or segmented-vs-rebuilt answer disagreement —
-//! the measurement run doubles as an oracle-equivalence check.
+//! any sharded-vs-unsharded, segmented-vs-rebuilt, or loaded-vs-saved
+//! answer disagreement — the measurement run doubles as an
+//! oracle-equivalence check. `--verify PATH` re-reads a finished
+//! trajectory file through the [`json`] DOM and asserts every expected
+//! suite produced cells and every expected summary key is present and
+//! finite (the CI gate).
 
 use divtopk_bench::{Measurement, PeakAlloc, json, measure};
 use divtopk_core::astar::{AStarConfig, KernelMode, div_astar_configured};
@@ -818,6 +830,318 @@ fn live_update_suite(
     })
 }
 
+/// Every suite a complete perfbase run records cells for.
+const EXPECTED_SUITES: [&str; 8] = [
+    "planted_default",
+    "planted_dense_neardup",
+    "path",
+    "synth_reuters_scan",
+    "synth_enwiki_ta",
+    "serving_throughput",
+    "live_update",
+    "cold_start",
+];
+
+/// Every summary key a complete perfbase run publishes (all numeric; all
+/// must be finite).
+const EXPECTED_SUMMARY_KEYS: [&str; 12] = [
+    "astar_bitset_speedup_planted_default",
+    "astar_bitset_speedup_planted_dense_neardup",
+    "throughput_qps_baseline",
+    "throughput_speedup_4_shards_vs_baseline",
+    "throughput_cache_hit_rate_4_shards",
+    "throughput_total_queries",
+    "live_update_speedup",
+    "live_update_p95_read_ns",
+    "live_update_queries",
+    "cold_start_speedup",
+    "cold_start_load_ms",
+    "cold_start_snapshot_bytes",
+];
+
+/// `--verify PATH`: structurally validates a trajectory file via the
+/// [`json::parse`] DOM — strict well-formedness, the expected schema, a
+/// non-empty cell list in which **every expected suite actually ran**,
+/// and a summary carrying every expected key with a finite numeric value
+/// (every other numeric summary entry must be finite too). This replaces
+/// the old CI grep chain, which could only assert that a substring
+/// appeared somewhere in the file.
+fn verify_trajectory(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(json::Value::as_str)
+        .ok_or("missing \"schema\" key")?;
+    if schema != "divtopk-perfbase/1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(json::Value::as_array)
+        .ok_or("missing \"cells\" array")?;
+    if cells.is_empty() {
+        return Err("empty cell list".to_string());
+    }
+    let mut suites_seen: Vec<&str> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let suite = cell
+            .get("suite")
+            .and_then(json::Value::as_str)
+            .ok_or(format!("cell {i}: missing \"suite\""))?;
+        if !suites_seen.contains(&suite) {
+            suites_seen.push(suite);
+        }
+        let status = cell
+            .get("status")
+            .and_then(json::Value::as_str)
+            .ok_or(format!("cell {i}: missing \"status\""))?;
+        if status != "done" && status != "inf" {
+            return Err(format!("cell {i}: unknown status {status:?}"));
+        }
+        let wall = cell
+            .get("wall_ns")
+            .and_then(json::Value::as_f64)
+            .ok_or(format!("cell {i}: missing \"wall_ns\""))?;
+        if !wall.is_finite() || wall < 0.0 {
+            return Err(format!("cell {i}: bad wall_ns {wall}"));
+        }
+    }
+    for want in &EXPECTED_SUITES {
+        if !suites_seen.contains(want) {
+            return Err(format!("suite {want:?} produced no cells"));
+        }
+    }
+    let summary = doc
+        .get("summary")
+        .and_then(json::Value::as_object)
+        .ok_or("missing \"summary\" object")?;
+    for want in EXPECTED_SUMMARY_KEYS {
+        let value = summary
+            .iter()
+            .find(|(k, _)| k == want)
+            .map(|(_, v)| v)
+            .ok_or(format!("summary key {want:?} missing"))?;
+        let n = value
+            .as_f64()
+            .ok_or(format!("summary key {want:?} is not a number"))?;
+        if !n.is_finite() {
+            return Err(format!("summary key {want:?} is not finite ({n})"));
+        }
+    }
+    // Any other numeric summary entry must be finite too — a NaN/inf
+    // statistic is always a harness bug, whatever its name.
+    for (key, value) in summary {
+        if let Some(n) = value.as_f64() {
+            if !n.is_finite() {
+                return Err(format!("summary key {key:?} is not finite ({n})"));
+            }
+        }
+    }
+    Ok(format!(
+        "OK ({} cells, {} suites, {} summary keys)",
+        cells.len(),
+        suites_seen.len(),
+        summary.len()
+    ))
+}
+
+/// Outcome of the cold-start suite, for the JSON summary.
+struct ColdStartReport {
+    load_ns: u128,
+    rebuild_ns: u128,
+    snapshot_bytes: u64,
+    docs: usize,
+}
+
+/// The cold-start suite (DESIGN.md §10): how fast does a serving process
+/// restart from a checksummed snapshot versus rebuilding its indexes from
+/// the in-memory corpus (the pre-PR-5 restart shape — and a *generous*
+/// baseline: a real restart would first re-parse the documents too)?
+///
+/// The measured state is not a fresh build: the engine has live deletes
+/// on top of the partitioned base, so the snapshot carries segments,
+/// tombstones, and a non-zero generation. Every run asserts the loaded
+/// engine answers **byte-identically** to the engine that saved the
+/// snapshot (scans `assert_eq!` on the whole `SearchOutput`; TA on the
+/// optimum) and finishes with `verify_rebuild_equivalence` on loaded
+/// state.
+fn cold_start_suite(
+    cells: &mut Vec<Cell>,
+    smoke: bool,
+    runs: usize,
+    budget: Duration,
+) -> Option<ColdStartReport> {
+    let docs = if smoke { 400 } else { 4000 };
+    let k = if smoke { 6 } else { 10 };
+    let corpus = generate(&SynthConfig::reuters_like().with_num_docs(docs));
+    let limits = SearchLimits {
+        time_budget: Some(budget),
+        max_bytes: Some(1 << 30),
+        ..SearchLimits::default()
+    };
+    let options = SearchOptions::new(k)
+        .with_tau(0.6)
+        .with_limits(limits)
+        .with_bound_decay(0.005);
+    let config = EngineConfig::new(2);
+
+    // The state to persist: partitioned base + a deterministic spread of
+    // deletions (every 37th document). Deletion-only mutations keep the
+    // rebuild baseline exact: `Engine::new` + the same `delete_docs`
+    // reproduces the identical segment layout and tombstone set.
+    let victims: Vec<DocId> = (0..docs as DocId).step_by(37).collect();
+    let engine = Engine::new(corpus.clone(), config.clone());
+    engine.delete_docs(&victims);
+
+    let path = std::env::temp_dir().join(format!(
+        "divtopk-perfbase-coldstart-{}.snapshot",
+        std::process::id()
+    ));
+    let snapshot_bytes = engine.save_snapshot(&path).expect("snapshot save");
+
+    // Query set for the correctness assertion (and the score column).
+    let mut queries: Vec<Query> = Vec::new();
+    let mut seed = QUERY_SEED;
+    while queries.len() < 4 && seed < QUERY_SEED + 10_000 {
+        seed += 1;
+        let band = 1 + (seed % 3) as u8;
+        let terms = if queries.len() % 2 == 0 { 1 } else { 2 };
+        if let Some(q) = query_for_band(&corpus, band, terms, seed) {
+            let query = if q.terms.len() == 1 {
+                Query::Scan(q.terms[0])
+            } else {
+                Query::Keywords(q)
+            };
+            if !queries.contains(&query) {
+                queries.push(query);
+            }
+        }
+    }
+    if queries.len() < 4 {
+        eprintln!("[cold_start] could not assemble the query set");
+        let _ = std::fs::remove_file(&path);
+        return None;
+    }
+    let reference: Vec<SearchOutput> = queries
+        .iter()
+        .map(|q| engine.search(q, &options).expect("reference query"))
+        .collect();
+    let score_sum: f64 = reference.iter().map(|o| o.total_score.get()).sum();
+
+    // Correctness once, outside the timing loops: byte-equality of every
+    // answer class on the loaded engine, then the data-level oracle.
+    {
+        let loaded = Engine::load_snapshot(&path, &config).expect("snapshot load");
+        assert_eq!(
+            loaded.generation(),
+            engine.generation(),
+            "generation must survive the round trip"
+        );
+        for (query, want) in queries.iter().zip(&reference) {
+            let got = loaded.search(query, &options).expect("loaded query");
+            match query {
+                Query::Scan(_) => {
+                    assert_eq!(want, &got, "loaded scan diverged from the saved engine")
+                }
+                Query::Keywords(_) => assert!(
+                    got.total_score.approx_eq(want.total_score, 1e-9),
+                    "loaded TA optimum diverged: {} vs {}",
+                    got.total_score,
+                    want.total_score
+                ),
+            }
+        }
+        loaded
+            .verify_rebuild_equivalence()
+            .expect("loaded state diverged from rebuild");
+    }
+
+    // Load path: snapshot file → serving-ready engine.
+    let mut load_runs = Vec::with_capacity(runs);
+    let mut load_peak = 0usize;
+    for _ in 0..runs {
+        let (m, ok) = measure(|| Engine::load_snapshot(&path, &config).ok().map(|_| ()));
+        let Measurement::Done { time, peak_bytes } = m else {
+            unreachable!("load_snapshot returns");
+        };
+        assert_eq!(ok, Some(()), "snapshot load failed");
+        load_runs.push(time.as_nanos());
+        load_peak = load_peak.max(peak_bytes);
+    }
+    let load_ns = median(&mut load_runs.clone());
+
+    // Rebuild path: the same serving state from the stored documents, as
+    // a restart without snapshots must produce it — vocabulary interning,
+    // document frequencies and the IDF table (the frozen statistics
+    // epoch), then index build + sort + the weight table + tombstone
+    // replay. Still generous to the baseline: the documents arrive
+    // pre-tokenized (a real restart would re-parse text first). The
+    // synthetic vocabulary is deterministic, so the rebuilt epoch is
+    // bit-identical to the saved one.
+    let mut rebuild_runs = Vec::with_capacity(runs);
+    let mut rebuild_peak = 0usize;
+    for _ in 0..runs {
+        let (m, ok) = measure(|| {
+            let mut builder = CorpusBuilder::with_synthetic_vocab(corpus.num_terms());
+            for doc in corpus.docs() {
+                builder.add_document(doc.clone());
+            }
+            let rebuilt = Engine::new(builder.build(), config.clone());
+            rebuilt.delete_docs(&victims);
+            Some(())
+        });
+        let Measurement::Done { time, peak_bytes } = m else {
+            unreachable!("closure always returns Some");
+        };
+        assert_eq!(ok, Some(()));
+        rebuild_runs.push(time.as_nanos());
+        rebuild_peak = rebuild_peak.max(peak_bytes);
+    }
+    let rebuild_ns = median(&mut rebuild_runs.clone());
+    let _ = std::fs::remove_file(&path);
+
+    eprintln!(
+        "[cold_start] load {:.2} ms vs rebuild {:.2} ms ({:.2}x) · snapshot {:.2} MB",
+        load_ns as f64 / 1e6,
+        rebuild_ns as f64 / 1e6,
+        rebuild_ns as f64 / load_ns as f64,
+        snapshot_bytes as f64 / (1024.0 * 1024.0),
+    );
+    cells.push(Cell {
+        suite: "cold_start",
+        algo: "engine-load",
+        kernel: "snapshot",
+        seed: 0,
+        n: docs,
+        edges: queries.len(),
+        k,
+        wall_ns_runs: load_runs,
+        wall_ns: load_ns,
+        peak_bytes: load_peak,
+        score: Some(score_sum),
+    });
+    cells.push(Cell {
+        suite: "cold_start",
+        algo: "engine-rebuild",
+        kernel: "from-corpus",
+        seed: 0,
+        n: docs,
+        edges: queries.len(),
+        k,
+        wall_ns_runs: rebuild_runs,
+        wall_ns: rebuild_ns,
+        peak_bytes: rebuild_peak,
+        score: Some(score_sum),
+    });
+    Some(ColdStartReport {
+        load_ns,
+        rebuild_ns,
+        snapshot_bytes,
+        docs,
+    })
+}
+
 /// The pinned dense near-duplicate configuration behind the headline AB5
 /// speedup number (dense clusters ≈ near-dup chains; see DESIGN.md §3).
 /// Few large, very dense clusters: independence checks dominate the
@@ -843,9 +1167,10 @@ fn dense_neardup_config(smoke: bool) -> ClusterConfig {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut smoke = false;
     let mut runs_override: Option<usize> = None;
+    let mut verify_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -858,12 +1183,25 @@ fn main() {
                         .expect("--runs needs a number"),
                 );
             }
+            "--verify" => verify_path = Some(args.next().expect("--verify needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perfbase [--smoke] [--out PATH] [--runs N]");
+                eprintln!("usage: perfbase [--smoke] [--out PATH] [--runs N] | --verify PATH");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = verify_path {
+        match verify_trajectory(&path) {
+            Ok(report) => {
+                eprintln!("[verify] {path}: {report}");
+            }
+            Err(e) => {
+                eprintln!("[verify] {path}: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     let runs = runs_override.unwrap_or(if smoke { 1 } else { 5 });
     let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3, 4, 5] };
@@ -1007,6 +1345,10 @@ fn main() {
     // segmented engine vs rebuild-per-mutation baseline (DESIGN.md §9).
     let live_update = live_update_suite(&mut cells, smoke, runs, budget);
 
+    // Suite 7: cold-start persistence — snapshot load vs index rebuild
+    // (DESIGN.md §10).
+    let cold_start = cold_start_suite(&mut cells, smoke, runs, budget);
+
     // Kernel oracle check: within a (suite, seed), the bitset and
     // sorted-vec div-astar cells must find the same best score.
     for suite in ["planted_default", "planted_dense_neardup"] {
@@ -1147,12 +1489,36 @@ fn main() {
         );
     }
 
+    if let Some(report) = &cold_start {
+        let speedup = report.rebuild_ns as f64 / report.load_ns as f64;
+        summary_lines.push(format!("\"cold_start_speedup\": {speedup:.3}"));
+        summary_lines.push(format!(
+            "\"cold_start_load_ms\": {:.3}",
+            report.load_ns as f64 / 1e6
+        ));
+        summary_lines.push(format!(
+            "\"cold_start_rebuild_ms\": {:.3}",
+            report.rebuild_ns as f64 / 1e6
+        ));
+        summary_lines.push(format!(
+            "\"cold_start_snapshot_bytes\": {}",
+            report.snapshot_bytes
+        ));
+        summary_lines.push(format!("\"cold_start_docs\": {}", report.docs));
+        eprintln!(
+            "[summary] cold start: snapshot load {speedup:.2}x vs index rebuild \
+             ({:.2} vs {:.2} ms)",
+            report.load_ns as f64 / 1e6,
+            report.rebuild_ns as f64 / 1e6
+        );
+    }
+
     let cell_json: Vec<String> = cells
         .iter()
         .map(|c| format!("    {}", c.to_json()))
         .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 4,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
+        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 5,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
         cell_json.join(",\n"),
         summary_lines.join(", "),
     );

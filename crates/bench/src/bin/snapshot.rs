@@ -1,0 +1,144 @@
+//! `snapshot` — the CI cross-process persistence gate (DESIGN.md §10).
+//!
+//! Two subcommands, run by **separate CI jobs** with only the snapshot
+//! file travelling between them as a build artifact:
+//!
+//! ```text
+//! snapshot save  --out PATH   # build the reference serving state, persist it
+//! snapshot check --in  PATH   # rebuild the same state from scratch, load the
+//!                             # artifact, assert byte-equality of every answer
+//! ```
+//!
+//! Both sides construct the *same deterministic reference state*
+//! (seeded synthetic corpus + a scripted mutation log), so `check` can
+//! compare the loaded engine against a fresh in-process rebuild without
+//! any side channel. Because save and load happen in different
+//! processes — and, in CI, in different jobs on different runners — the
+//! comparison catches host- or build-dependence in the format (struct
+//! layout leaks, endianness mistakes, uninitialized padding) that a
+//! same-process round-trip test can never see.
+//!
+//! `check` asserts full [`SearchOutput`] equality (hits, total score,
+//! metrics — early-stop point included) for scans *and* TA queries, plus
+//! the data-level `verify_rebuild_equivalence` oracle on the loaded
+//! state, and exits non-zero on the first divergence.
+
+use divtopk_core::rng::Pcg;
+use divtopk_engine::prelude::*;
+use divtopk_text::prelude::*;
+
+/// Deterministic seed for the reference state and query selection.
+const SEED: u64 = 0x0510;
+
+/// The reference serving state: a 700-document reuters-like base epoch
+/// partitioned into 2 segments, plus a scripted add/delete/compact log —
+/// so the snapshot exercises every section type (multiple segments,
+/// tombstones, a bumped compaction counter, a non-zero generation).
+fn reference_engine() -> Engine {
+    let base_docs = 700usize;
+    let pool = 60usize;
+    let donor = generate(&SynthConfig::reuters_like().with_num_docs(base_docs + pool));
+    let mut builder = CorpusBuilder::with_synthetic_vocab(donor.num_terms());
+    for d in 0..base_docs as DocId {
+        builder.add_document(donor.doc(d).clone());
+    }
+    let engine = Engine::new(builder.build(), EngineConfig::new(2));
+    let mut rng = Pcg::new(SEED);
+    let mut next = base_docs as DocId;
+    for round in 0..4 {
+        let batch: Vec<Document> = (next..next + 15).map(|d| donor.doc(d).clone()).collect();
+        engine.add_docs(batch);
+        next += 15;
+        let victims: Vec<DocId> = (0..6).map(|_| rng.below(next)).collect();
+        engine.delete_docs(&victims);
+        if round % 2 == 1 {
+            engine.compact();
+        }
+    }
+    engine
+}
+
+/// The reference query set: scans and 2-keyword TA queries from the low
+/// kfreq bands, deterministic given the corpus.
+fn reference_queries(corpus: &Corpus) -> Vec<(Query, SearchOptions)> {
+    let options = SearchOptions::new(8).with_tau(0.6).with_bound_decay(0.005);
+    let mut queries = Vec::new();
+    let mut seed = SEED;
+    while queries.len() < 8 && seed < SEED + 10_000 {
+        seed += 1;
+        let band = 1 + (seed % 3) as u8;
+        let terms = if queries.len() % 2 == 0 { 1 } else { 2 };
+        if let Some(q) = query_for_band(corpus, band, terms, seed) {
+            let query = if q.terms.len() == 1 {
+                Query::Scan(q.terms[0])
+            } else {
+                Query::Keywords(q)
+            };
+            if !queries.iter().any(|(existing, _)| existing == &query) {
+                queries.push((query, options.clone()));
+            }
+        }
+    }
+    assert!(queries.len() >= 4, "could not assemble the CI query set");
+    queries
+}
+
+fn save(path: &str) {
+    let engine = reference_engine();
+    let bytes = engine
+        .save_snapshot(path)
+        .unwrap_or_else(|e| panic!("saving {path}: {e}"));
+    eprintln!(
+        "[snapshot save] generation {} · {} segments · {} tombstones → {bytes} bytes at {path}",
+        engine.generation(),
+        engine.stats().segments,
+        engine.stats().tombstones,
+    );
+}
+
+fn check(path: &str) {
+    let loaded = Engine::load_snapshot(path, &EngineConfig::default())
+        .unwrap_or_else(|e| panic!("loading {path}: {e}"));
+    let fresh = reference_engine();
+    assert_eq!(
+        loaded.generation(),
+        fresh.generation(),
+        "generation diverged across processes"
+    );
+    let (l, f) = (loaded.stats(), fresh.stats());
+    assert_eq!(l.segments, f.segments, "segment count diverged");
+    assert_eq!(l.tombstones, f.tombstones, "tombstone count diverged");
+    loaded
+        .verify_rebuild_equivalence()
+        .expect("loaded state failed the rebuild-equivalence oracle");
+    let queries = reference_queries(&fresh.corpus());
+    let n = queries.len();
+    for (i, (query, options)) in queries.into_iter().enumerate() {
+        let want = fresh.search(&query, &options).expect("fresh query");
+        let got = loaded.search(&query, &options).expect("loaded query");
+        // Full-output equality: identical bits + identical segment layout
+        // mean the whole pull sequence reproduces, so even the metrics
+        // and early-stop point must match byte for byte.
+        assert_eq!(
+            want, got,
+            "query {i} diverged between the loaded artifact and the fresh rebuild"
+        );
+    }
+    eprintln!(
+        "[snapshot check] {path}: {n} queries byte-identical to a fresh rebuild ✓ \
+         (generation {}, {} segments, {} tombstones)",
+        l.generation, l.segments, l.tombstones
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, flag, path] if cmd == "save" && flag == "--out" => save(path),
+        [cmd, flag, path] if cmd == "check" && flag == "--in" => check(path),
+        _ => {
+            eprintln!("usage: snapshot save --out PATH | snapshot check --in PATH");
+            std::process::exit(2);
+        }
+    }
+}

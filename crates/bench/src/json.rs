@@ -1,11 +1,16 @@
-//! Minimal JSON emission + validation for the `perfbase` trajectory files.
+//! Minimal JSON emission + validation + DOM for the `perfbase`
+//! trajectory files.
 //!
 //! The workspace is dependency-free (no serde), so `BENCH_*.json` is
 //! written with [`escape_string`]/format strings and checked with
-//! [`validate`] — a strict RFC 8259 well-formedness parser (structure
-//! only, no DOM). `perfbase` validates its own output before exiting and
-//! CI runs the same check, so a malformed trajectory file fails the build
-//! rather than the downstream tooling that reads it.
+//! [`validate`] — a strict RFC 8259 well-formedness parser. [`parse`]
+//! builds a small [`Value`] DOM on top of the same parser; it backs
+//! `perfbase --verify`, which structurally checks a trajectory file
+//! (expected suites ran, summary keys present and finite) instead of
+//! grepping it. `perfbase` validates its own output before exiting and
+//! CI runs `--verify` on the artifact, so a malformed or incomplete
+//! trajectory file fails the build rather than the downstream tooling
+//! that reads it.
 
 /// Escapes `s` for embedding inside a JSON string literal (quotes not
 /// included).
@@ -39,6 +44,93 @@ pub fn validate(s: &str) -> Result<(), String> {
         return Err(p.error("trailing content after the top-level value"));
     }
     Ok(())
+}
+
+/// A parsed JSON value. Objects keep insertion order (the trajectory
+/// files are small; no hashing needed), and numbers are `f64` — plenty
+/// for verifying that a summary statistic is present and finite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` into a [`Value`] DOM under the same strict RFC 8259 rules
+/// as [`validate`]. Returns a byte offset + message on failure.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value_dom()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing content after the top-level value"));
+    }
+    Ok(value)
+}
+
+/// Length of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
 }
 
 struct Parser<'a> {
@@ -173,6 +265,142 @@ impl Parser<'_> {
         }
     }
 
+    fn value_dom(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object_dom(),
+            Some(b'[') => self.array_dom(),
+            Some(b'"') => self.string_dom().map(Value::String),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number_dom(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object_dom(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string_dom()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value_dom()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array_dom(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value_dom()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    /// Like [`Parser::string`], but decodes escapes into the returned
+    /// string (surrogate pairs combined; lone surrogates rejected).
+    fn string_dom(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        self.string()?;
+        let raw = &self.bytes[start + 1..self.pos - 1];
+        let mut out = String::with_capacity(raw.len());
+        let mut i = 0;
+        while i < raw.len() {
+            if raw[i] != b'\\' {
+                // The span passed `string()`, so it is valid UTF-8 between
+                // escapes; copy code points byte-wise.
+                let len = utf8_len(raw[i]);
+                out.push_str(
+                    std::str::from_utf8(&raw[i..i + len])
+                        .map_err(|_| format!("byte {}: invalid UTF-8 in string", start + 1 + i))?,
+                );
+                i += len;
+                continue;
+            }
+            i += 1;
+            match raw[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{0008}'),
+                b'f' => out.push('\u{000C}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = |bytes: &[u8]| -> u32 {
+                        bytes.iter().fold(0, |acc, &b| {
+                            acc * 16 + (b as char).to_digit(16).expect("validated hex")
+                        })
+                    };
+                    let mut code = hex(&raw[i + 1..i + 5]);
+                    i += 4;
+                    if (0xD800..0xDC00).contains(&code) {
+                        // High surrogate: a low surrogate escape must follow.
+                        if raw.len() < i + 7 || raw[i + 1] != b'\\' || raw[i + 2] != b'u' {
+                            return Err(format!("byte {}: lone high surrogate", start + i));
+                        }
+                        let low = hex(&raw[i + 3..i + 7]);
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return Err(format!("byte {}: invalid surrogate pair", start + i));
+                        }
+                        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                        i += 6;
+                    }
+                    match char::from_u32(code) {
+                        Some(c) => out.push(c),
+                        None => return Err(format!("byte {}: invalid \\u escape", start + i)),
+                    }
+                }
+                _ => unreachable!("string() validated the escape"),
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    fn number_dom(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        self.number()?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number grammar is ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| format!("byte {start}: unparseable number: {e}"))
+    }
+
     fn number(&mut self) -> Result<(), String> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -240,6 +468,58 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_dom() {
+        let v = parse(r#"{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3e2}}"#).unwrap();
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].as_str(), Some("x\n"));
+        assert_eq!(a[3], Value::Bool(true));
+        assert_eq!(a[4], Value::Null);
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_f64),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            parse(r#""tab\t quote\" uA""#).unwrap(),
+            Value::String("tab\t quote\" uA".into())
+        );
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::String("😀".into()));
+        assert!(parse(r#""\ud83d oops""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn parse_round_trips_an_escaped_emission() {
+        let original = "wall\tns \"quoted\" line\nend";
+        let doc = format!("{{\"k\": \"{}\"}}", escape_string(original));
+        assert_eq!(
+            parse(&doc).unwrap().get("k").and_then(Value::as_str),
+            Some(original)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "{\"a\": 1} extra", "01"] {
+            assert!(parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn huge_exponents_parse_to_infinity_not_errors() {
+        // `--verify` flags non-finite summary values; the parser's job is
+        // only to surface them.
+        let v = parse("1e999").unwrap();
+        assert_eq!(v.as_f64(), Some(f64::INFINITY));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod dp;
 pub mod error;
 pub mod exhaustive;
 pub mod framework;
+pub mod fxhash;
 pub mod graph;
 pub mod greedy;
 pub mod limits;
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use crate::dp::{div_dp, div_dp_limited};
     pub use crate::error::{ExhaustedResource, SearchError};
     pub use crate::framework::{DivSearchConfig, DivSearchOutput, DivTopK, ExactAlgorithm};
+    pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHasher};
     pub use crate::graph::{DENSE_ADJ_MAX_NODES, DiversityGraph, NodeId};
     pub use crate::greedy::{greedy, greedy_result};
     pub use crate::limits::SearchLimits;

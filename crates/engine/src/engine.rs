@@ -42,11 +42,13 @@ use crate::cache::{CacheStats, LruCache};
 use divtopk_core::SearchError;
 use divtopk_text::corpus::Corpus;
 use divtopk_text::document::{DocId, Document, TermId};
+use divtopk_text::persist::{self, SnapshotError};
 use divtopk_text::query::KeywordQuery;
 use divtopk_text::search::{SearchOptions, SearchOutput};
 use divtopk_text::segments::SegmentedIndex;
 use std::collections::HashSet;
 use std::ops::Range;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
@@ -227,16 +229,24 @@ impl Engine {
     /// # Panics
     /// Panics if `config.shards == 0` (deployment configuration error).
     pub fn new(corpus: Corpus, config: EngineConfig) -> Engine {
+        Engine::from_state(
+            SegmentedIndex::build_partitioned(corpus, config.shards),
+            0,
+            &config,
+        )
+    }
+
+    /// Assembles an engine around an existing serving state at a given
+    /// generation — the shared path behind [`Engine::new`] and
+    /// [`Engine::load_snapshot`].
+    fn from_state(index: SegmentedIndex, generation: u64, config: &EngineConfig) -> Engine {
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             config.threads
         };
         Engine {
-            snapshot: RwLock::new(Arc::new(Snapshot {
-                generation: 0,
-                index: SegmentedIndex::build_partitioned(corpus, config.shards),
-            })),
+            snapshot: RwLock::new(Arc::new(Snapshot { generation, index })),
             writer: Mutex::new(()),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             cache_capacity: config.cache_capacity,
@@ -343,6 +353,40 @@ impl Engine {
             self.install(current.generation + 1, index);
         }
         merged
+    }
+
+    /// Persists the current serving state — corpus epoch, weight table,
+    /// every segment's posting lists (bit-exact via [`f64::to_bits`]),
+    /// tombstones, compaction counter, and the snapshot generation — to
+    /// `path` in the checksummed container format of
+    /// [`divtopk_text::persist`] (DESIGN.md §10). Caches and serving
+    /// counters are deliberately not part of the durable state. Returns
+    /// the bytes written.
+    ///
+    /// The save pins one snapshot, so a concurrent mutation can never
+    /// tear the file: what lands on disk is exactly one generation.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let snap = self.pin();
+        persist::save_segmented(path, &snap.index, snap.generation)
+    }
+
+    /// Restores an engine from a snapshot written by
+    /// [`Engine::save_snapshot`]: the loaded serving state is
+    /// byte-identical to the saved one (scan outputs, metrics, early-stop
+    /// points, TA optima — `tests/persistence.rs` pins this), and the
+    /// generation counter resumes where the saved engine stood. The
+    /// result cache starts empty and the serving counters start at zero —
+    /// they are process state, not index state.
+    ///
+    /// `config.shards` is ignored: the segment layout comes from the
+    /// snapshot (cache capacity and worker threads apply as usual).
+    /// Corrupt input returns a typed [`SnapshotError`], never a panic.
+    pub fn load_snapshot(
+        path: impl AsRef<Path>,
+        config: &EngineConfig,
+    ) -> Result<Engine, SnapshotError> {
+        let (index, generation) = persist::load_segmented(path)?;
+        Ok(Engine::from_state(index, generation, config))
     }
 
     /// Diagnostic: verifies the current snapshot's rebuild-equivalence

@@ -65,6 +65,7 @@ pub mod prelude {
     pub use crate::cache::{CacheStats, LruCache};
     pub use crate::engine::{Engine, EngineConfig, EngineStats, Query};
     pub use crate::shard::ShardedCorpus;
+    pub use divtopk_text::persist::SnapshotError;
     pub use divtopk_text::segments::SegmentedIndex;
 }
 

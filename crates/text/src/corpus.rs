@@ -85,6 +85,23 @@ impl Corpus {
         self.doc_freq.iter().copied().max().unwrap_or(0)
     }
 
+    /// Reassembles a corpus from decoded snapshot parts
+    /// ([`crate::persist`]); the caller has validated shape invariants
+    /// (table sizes, term-id ranges, finite weights).
+    pub(crate) fn from_parts(
+        vocab: Vocabulary,
+        docs: Vec<Document>,
+        doc_freq: Vec<u32>,
+        idf: Vec<f64>,
+    ) -> Corpus {
+        Corpus {
+            vocab: Arc::new(vocab),
+            docs,
+            doc_freq: Arc::new(doc_freq),
+            idf: Arc::new(idf),
+        }
+    }
+
     /// Appends documents **without touching the statistics epoch**: the
     /// vocabulary, document frequencies, and IDF table stay exactly as
     /// [`CorpusBuilder::build`] computed them, so every already-indexed

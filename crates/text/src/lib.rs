@@ -43,6 +43,7 @@ pub mod document;
 pub mod index;
 pub mod jaccard;
 pub mod mmr;
+pub mod persist;
 pub mod quality;
 pub mod query;
 pub mod scan;
@@ -64,6 +65,7 @@ pub mod prelude {
         similar_above, total_weight, weighted_jaccard, weighted_jaccard_with,
     };
     pub use crate::mmr::{MmrConfig, mmr_documents, mmr_rerank};
+    pub use crate::persist::SnapshotError;
     pub use crate::quality::{diversified_score, redundancy};
     pub use crate::query::{KeywordQuery, kfreq_band, query_for_band, representative_terms};
     pub use crate::scan::ScanSource;

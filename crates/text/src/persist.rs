@@ -1,0 +1,1262 @@
+//! Cold-start persistence: a checksummed binary snapshot format with
+//! byte-equality load (DESIGN.md §10).
+//!
+//! A production engine must restart in milliseconds, not re-tokenize and
+//! re-sort its whole corpus. This module defines a **dependency-free**
+//! binary container and writers/readers for every serving-state type:
+//! [`Vocabulary`], [`Corpus`] (frozen-statistics epoch included),
+//! [`InvertedIndex`] (posting lists with their stored partials bit-exact
+//! via [`f64::to_bits`]), and the full [`SegmentedIndex`] (segments +
+//! tombstones + the caller's generation counter).
+//!
+//! ## Container layout
+//!
+//! ```text
+//! snapshot := header section*
+//! header   := magic[8]="DIVTOPK\0"  version:u32  kind:u32  section_count:u32
+//! section  := tag[4]  payload_len:u64  crc32:u32  payload[payload_len]
+//! ```
+//!
+//! All integers are explicit little-endian; floats travel as
+//! [`f64::to_bits`] words, so a load reproduces the exact bits the writer
+//! held — the substrate of the byte-equality-after-load contract. Each
+//! section's payload is protected by an in-repo CRC32 ([`crc32`], the
+//! IEEE/zlib polynomial); the header fields are protected structurally
+//! (magic, a pinned [`FORMAT_VERSION`], a per-snapshot-kind section
+//! schedule, and an exact-consumption check at every level).
+//!
+//! ## Failure model
+//!
+//! Corrupt input — truncation at any byte, bit-flips anywhere, bad
+//! magic/version, oversized section lengths — returns a typed
+//! [`SnapshotError`], never a panic and never an attacker-sized
+//! allocation: section lengths are bounds-checked against the bytes
+//! actually present before any slice is taken, and element counts are
+//! checked against the owning payload's size before any `Vec` is
+//! reserved. `tests/persistence.rs` drives a truncate-every-offset +
+//! flip-every-byte suite over valid snapshots to pin this down.
+//!
+//! ## Versioning policy
+//!
+//! [`FORMAT_VERSION`] identifies the container revision. Readers accept
+//! exactly the versions they know how to decode (currently only
+//! version 1) and reject everything else with
+//! [`SnapshotError::UnsupportedVersion`] — snapshots are cheap to
+//! regenerate from the corpus, so there is no silent best-effort decoding
+//! of future or past revisions. Any layout change bumps the version.
+
+use crate::corpus::Corpus;
+use crate::document::{Document, TermId};
+use crate::index::{InvertedIndex, Posting};
+use crate::segments::{Segment, SegmentedIndex, Tombstones};
+use crate::vocab::Vocabulary;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The 8-byte file magic every snapshot starts with.
+pub const MAGIC: [u8; 8] = *b"DIVTOPK\0";
+
+/// The container format revision this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Snapshot kind: a standalone [`Corpus`].
+pub const KIND_CORPUS: u32 = 1;
+/// Snapshot kind: a standalone [`InvertedIndex`].
+pub const KIND_INDEX: u32 = 2;
+/// Snapshot kind: a full [`SegmentedIndex`] serving state (what
+/// `Engine::save_snapshot` writes).
+pub const KIND_SEGMENTED: u32 = 3;
+
+/// Upper bound accepted for any stored score-feeding value (IDF,
+/// posting partial, document weight). Legitimate values are tiny —
+/// `idf ≤ ln(N)` and `partial ≤ tf·idf ≲ 10¹³` — while queries sum up
+/// to `u32::MAX` of them, so admitting anything close to `f64::MAX`
+/// would let a CRC-valid-but-forged snapshot overflow a query-time sum
+/// to `+inf` and panic `Score::new` inside the serving process. With
+/// this cap, `1e100 × 2³² ≪ f64::MAX` keeps every reachable sum finite.
+const MAX_STORED_VALUE: f64 = 1e100;
+
+const TAG_META: [u8; 4] = *b"META";
+const TAG_VOCAB: [u8; 4] = *b"VOCB";
+const TAG_STATS: [u8; 4] = *b"STAT";
+const TAG_DOCS: [u8; 4] = *b"DOCS";
+const TAG_WEIGHTS: [u8; 4] = *b"WGTS";
+const TAG_TOMB: [u8; 4] = *b"TOMB";
+const TAG_SEGMENT: [u8; 4] = *b"SEGI";
+const TAG_INDEX: [u8; 4] = *b"INDX";
+
+/// Why a snapshot could not be written or decoded.
+///
+/// Every decode failure is typed — corrupt bytes must surface as an
+/// error value, never as a panic inside a serving process restoring its
+/// state (see the module-level failure model).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a divtopk snapshot.
+    BadMagic {
+        /// The first 8 bytes actually found.
+        found: [u8; 8],
+    },
+    /// The container declares a format revision this build cannot decode.
+    UnsupportedVersion {
+        /// The version the file declares.
+        found: u32,
+    },
+    /// The container holds a different snapshot kind than the caller
+    /// asked for (e.g. loading a corpus file as an engine snapshot).
+    WrongKind {
+        /// The kind the file declares.
+        found: u32,
+        /// The kind the load entry point expected.
+        expected: u32,
+    },
+    /// A section appeared out of schedule for this snapshot kind.
+    UnexpectedSection {
+        /// The tag actually found.
+        found: [u8; 4],
+        /// The tag the fixed section schedule expected next.
+        expected: [u8; 4],
+    },
+    /// A section payload does not match its stored CRC32 — bit rot,
+    /// torn write, or tampering.
+    ChecksumMismatch {
+        /// Tag of the damaged section.
+        tag: [u8; 4],
+        /// The checksum stored in the section header.
+        stored: u32,
+        /// The checksum computed over the payload bytes present.
+        computed: u32,
+    },
+    /// The input ended (or a declared length pointed) past the bytes
+    /// actually present.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+        /// Bytes the decoder needed.
+        needed: u64,
+        /// Bytes that were available.
+        available: u64,
+    },
+    /// The bytes decoded but violate a structural invariant (impossible
+    /// counts, non-finite floats, unsorted posting lists, out-of-range
+    /// ids, non-UTF-8 strings, …).
+    Malformed {
+        /// Which invariant failed.
+        context: &'static str,
+    },
+    /// Well-formed sections were followed by unconsumed bytes.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad snapshot magic {found:02x?} (not a divtopk snapshot)"
+                )
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {found} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            SnapshotError::WrongKind { found, expected } => {
+                write!(f, "wrong snapshot kind {found} (expected {expected})")
+            }
+            SnapshotError::UnexpectedSection { found, expected } => {
+                write!(
+                    f,
+                    "unexpected section {:?} (expected {:?})",
+                    String::from_utf8_lossy(found),
+                    String::from_utf8_lossy(expected)
+                )
+            }
+            SnapshotError::ChecksumMismatch {
+                tag,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in section {:?}: stored {stored:#010x}, computed {computed:#010x}",
+                    String::from_utf8_lossy(tag)
+                )
+            }
+            SnapshotError::Truncated {
+                context,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "truncated snapshot while reading {context}: needed {needed} bytes, {available} available"
+                )
+            }
+            SnapshotError::Malformed { context } => {
+                write!(f, "malformed snapshot: {context}")
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "trailing garbage after the last section: {extra} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 / zlib polynomial), implemented in-repo — the
+// workspace takes no external dependencies.
+// ---------------------------------------------------------------------------
+
+/// Slice-by-16 lookup tables: `CRC_TABLES[0]` is the classic byte
+/// table; `CRC_TABLES[i]` advances a byte `i` further positions in one
+/// lookup, so the hot loop folds 16 input bytes per iteration (snapshot
+/// checksums sit on the cold-start path — restart latency is the whole
+/// point).
+const CRC_TABLES: [[u32; 256]; 16] = {
+    let mut tables = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// Folds one 32-bit word `w` whose bytes sit `pos * 4` bytes before the
+/// end of the 16-byte block.
+#[inline]
+fn crc_fold(w: u32, pos: usize) -> u32 {
+    let base = pos * 4;
+    CRC_TABLES[base + 3][(w & 0xFF) as usize]
+        ^ CRC_TABLES[base + 2][((w >> 8) & 0xFF) as usize]
+        ^ CRC_TABLES[base + 1][((w >> 16) & 0xFF) as usize]
+        ^ CRC_TABLES[base][(w >> 24) as usize]
+}
+
+/// CRC32 (reflected, polynomial `0xEDB88320`, init/final-xor
+/// `0xFFFFFFFF`) — bit-compatible with zlib's `crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let word = |b: &[u8]| u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        crc = crc_fold(word(&chunk[0..4]) ^ crc, 3)
+            ^ crc_fold(word(&chunk[4..8]), 2)
+            ^ crc_fold(word(&chunk[8..12]), 1)
+            ^ crc_fold(word(&chunk[12..16]), 0);
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian payload encoding helpers.
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian cursor over one payload (or the file
+/// header). Every read returns [`SnapshotError::Truncated`] instead of
+/// slicing out of range.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8], context: &'static str) -> ByteReader<'a> {
+        ByteReader {
+            bytes,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if n > self.remaining() {
+            return Err(SnapshotError::Truncated {
+                context: self.context,
+                needed: n as u64,
+                available: self.remaining() as u64,
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| SnapshotError::Malformed {
+            context: "non-UTF-8 string",
+        })
+    }
+
+    /// Reads a `u64` element count and validates it against the bytes
+    /// still present (`elem_min_bytes` ≥ 1 per element), so a forged
+    /// count can never drive an oversized allocation.
+    fn counted(&mut self, elem_min_bytes: usize) -> Result<usize, SnapshotError> {
+        let count = self.u64()?;
+        self.check_count(count, elem_min_bytes)
+    }
+
+    /// Like [`ByteReader::counted`] with a `u32` count on the wire.
+    fn counted_u32(&mut self, elem_min_bytes: usize) -> Result<usize, SnapshotError> {
+        let count = self.u32()? as u64;
+        self.check_count(count, elem_min_bytes)
+    }
+
+    fn check_count(&self, count: u64, elem_min_bytes: usize) -> Result<usize, SnapshotError> {
+        let fits = count
+            .checked_mul(elem_min_bytes as u64)
+            .is_some_and(|total| total <= self.remaining() as u64);
+        if !fits {
+            return Err(SnapshotError::Malformed {
+                context: "element count larger than the section holding it",
+            });
+        }
+        Ok(count as usize)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes {
+                extra: self.remaining() as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container: sections with tags, lengths, and CRCs.
+// ---------------------------------------------------------------------------
+
+/// Assembles a complete snapshot from `(tag, payload)` sections.
+fn assemble(kind: u32, sections: Vec<([u8; 4], Vec<u8>)>) -> Vec<u8> {
+    let total: usize = sections.iter().map(|(_, p)| p.len() + 16).sum();
+    let mut out = Vec::with_capacity(20 + total);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, kind);
+    put_u32(&mut out, sections.len() as u32);
+    for (tag, payload) in sections {
+        out.extend_from_slice(&tag);
+        put_u64(&mut out, payload.len() as u64);
+        put_u32(&mut out, crc32(&payload));
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Sequential section reader: parses the header, then hands out
+/// CRC-verified payloads in the fixed per-kind schedule.
+struct Container<'a> {
+    reader: ByteReader<'a>,
+    sections_left: u32,
+}
+
+impl<'a> Container<'a> {
+    fn open(bytes: &'a [u8], expected_kind: u32) -> Result<Container<'a>, SnapshotError> {
+        let mut reader = ByteReader::new(bytes, "snapshot header");
+        let magic = reader.take(8)?;
+        if magic != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(magic);
+            return Err(SnapshotError::BadMagic { found });
+        }
+        let version = reader.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let kind = reader.u32()?;
+        if kind != expected_kind {
+            return Err(SnapshotError::WrongKind {
+                found: kind,
+                expected: expected_kind,
+            });
+        }
+        let sections_left = reader.u32()?;
+        Ok(Container {
+            reader,
+            sections_left,
+        })
+    }
+
+    /// Reads the next section, which must carry `tag`; verifies its CRC
+    /// and returns a cursor over the payload.
+    fn section(
+        &mut self,
+        tag: [u8; 4],
+        context: &'static str,
+    ) -> Result<ByteReader<'a>, SnapshotError> {
+        if self.sections_left == 0 {
+            return Err(SnapshotError::Truncated {
+                context,
+                needed: 1,
+                available: 0,
+            });
+        }
+        self.sections_left -= 1;
+        let found_tag = self.reader.take(4)?;
+        if found_tag != tag {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(found_tag);
+            return Err(SnapshotError::UnexpectedSection {
+                found,
+                expected: tag,
+            });
+        }
+        let len = self.reader.u64()?;
+        let stored = self.reader.u32()?;
+        if len > self.reader.remaining() as u64 {
+            // An oversized declared length must fail *here*, before any
+            // slice or allocation happens.
+            return Err(SnapshotError::Truncated {
+                context,
+                needed: len,
+                available: self.reader.remaining() as u64,
+            });
+        }
+        let payload = self.reader.take(len as usize)?;
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch {
+                tag,
+                stored,
+                computed,
+            });
+        }
+        Ok(ByteReader::new(payload, context))
+    }
+
+    /// Asserts every declared section was consumed and nothing trails.
+    fn finish(self) -> Result<(), SnapshotError> {
+        if self.sections_left != 0 {
+            return Err(SnapshotError::Malformed {
+                context: "section count larger than the sections present",
+            });
+        }
+        self.reader.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary
+// ---------------------------------------------------------------------------
+
+fn vocab_payload(v: &Vocabulary) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, v.len() as u64);
+    for id in 0..v.len() as TermId {
+        put_str(&mut buf, v.term(id));
+    }
+    buf
+}
+
+fn read_vocab(mut r: ByteReader<'_>) -> Result<Vocabulary, SnapshotError> {
+    let n = r.counted(4)?;
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        terms.push(r.str()?.to_owned());
+    }
+    let vocab = Vocabulary::from_terms(terms).ok_or(SnapshotError::Malformed {
+        // A duplicate term would silently renumber every id after it.
+        context: "duplicate term in vocabulary",
+    })?;
+    r.finish()?;
+    Ok(vocab)
+}
+
+// ---------------------------------------------------------------------------
+// Corpus (vocabulary + frozen statistics + documents)
+// ---------------------------------------------------------------------------
+
+fn stats_payload(c: &Corpus) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let n = c.num_terms();
+    put_u64(&mut buf, n as u64);
+    for t in 0..n as TermId {
+        put_u32(&mut buf, c.doc_freq(t));
+    }
+    for &idf in c.idf_table() {
+        put_f64(&mut buf, idf);
+    }
+    buf
+}
+
+fn read_stats(
+    mut r: ByteReader<'_>,
+    num_terms: usize,
+) -> Result<(Vec<u32>, Vec<f64>), SnapshotError> {
+    let n = r.counted(12)?;
+    if n != num_terms {
+        return Err(SnapshotError::Malformed {
+            context: "statistics table size disagrees with the vocabulary",
+        });
+    }
+    // One bounds check per table, then chunked decodes (`counted`
+    // proved the bytes are present).
+    let mut doc_freq = Vec::with_capacity(n);
+    let raw_df = r.take(n * 4)?;
+    for b in raw_df.chunks_exact(4) {
+        doc_freq.push(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+    }
+    let mut idf = Vec::with_capacity(n);
+    let raw_idf = r.take(n * 8)?;
+    for b in raw_idf.chunks_exact(8) {
+        let v = f64::from_bits(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]));
+        if !v.is_finite() || !(0.0..=MAX_STORED_VALUE).contains(&v) {
+            // Scores built on a negative IDF panic `Score::new` at query
+            // time, and an implausibly huge one overflows the query-time
+            // sum to +inf (same panic) — reject both at the door, like
+            // every other CRC-valid-but-inconsistent payload.
+            return Err(SnapshotError::Malformed {
+                context: "IDF weight outside the plausible range",
+            });
+        }
+        idf.push(v);
+    }
+    r.finish()?;
+    Ok((doc_freq, idf))
+}
+
+fn docs_payload(c: &Corpus) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, c.num_docs() as u64);
+    for doc in c.docs() {
+        put_str(&mut buf, &doc.title);
+        put_u32(&mut buf, doc.len);
+        put_u32(&mut buf, doc.terms.len() as u32);
+        for &(t, tf) in &doc.terms {
+            put_u32(&mut buf, t);
+            put_u32(&mut buf, tf);
+        }
+    }
+    buf
+}
+
+fn read_docs(mut r: ByteReader<'_>, num_terms: usize) -> Result<Vec<Document>, SnapshotError> {
+    let n = r.counted(12)?;
+    let mut docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let title = r.str()?.to_owned();
+        let len = r.u32()?;
+        let n_terms = r.counted_u32(8)?;
+        let mut terms: Vec<(TermId, u32)> = Vec::with_capacity(n_terms);
+        // One bounds check for the doc's whole signature, then a chunked
+        // decode (`counted_u32` proved the bytes are present).
+        let pairs = r.take(n_terms * 8)?;
+        for pair in pairs.chunks_exact(8) {
+            let t = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]);
+            let tf = u32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
+            if (t as usize) >= num_terms {
+                return Err(SnapshotError::Malformed {
+                    context: "document references a term outside the vocabulary",
+                });
+            }
+            if tf == 0 {
+                return Err(SnapshotError::Malformed {
+                    context: "zero term frequency in a document signature",
+                });
+            }
+            if terms.last().is_some_and(|&(prev, _)| prev >= t) {
+                // `Document::tf` binary-searches; an unsorted signature
+                // would silently mis-score instead of failing loudly.
+                return Err(SnapshotError::Malformed {
+                    context: "document term signature not strictly sorted",
+                });
+            }
+            terms.push((t, tf));
+        }
+        docs.push(Document { title, terms, len });
+    }
+    r.finish()?;
+    Ok(docs)
+}
+
+fn corpus_sections(c: &Corpus, out: &mut Vec<([u8; 4], Vec<u8>)>) {
+    out.push((TAG_VOCAB, vocab_payload(c.vocab())));
+    out.push((TAG_STATS, stats_payload(c)));
+    out.push((TAG_DOCS, docs_payload(c)));
+}
+
+fn read_corpus_sections(container: &mut Container<'_>) -> Result<Corpus, SnapshotError> {
+    let vocab = read_vocab(container.section(TAG_VOCAB, "vocabulary section")?)?;
+    let (doc_freq, idf) = read_stats(
+        container.section(TAG_STATS, "statistics section")?,
+        vocab.len(),
+    )?;
+    let docs = read_docs(
+        container.section(TAG_DOCS, "documents section")?,
+        vocab.len(),
+    )?;
+    Ok(Corpus::from_parts(vocab, docs, doc_freq, idf))
+}
+
+/// Serializes a [`Corpus`] (vocabulary, frozen statistics, documents) to
+/// snapshot bytes.
+pub fn corpus_to_bytes(c: &Corpus) -> Vec<u8> {
+    let mut sections = Vec::new();
+    corpus_sections(c, &mut sections);
+    assemble(KIND_CORPUS, sections)
+}
+
+/// Decodes a [`Corpus`] snapshot produced by [`corpus_to_bytes`]. The
+/// result is bit-identical to the corpus that was saved: document
+/// signatures, document frequencies, and every IDF weight's exact bits.
+pub fn corpus_from_bytes(bytes: &[u8]) -> Result<Corpus, SnapshotError> {
+    let mut container = Container::open(bytes, KIND_CORPUS)?;
+    let corpus = read_corpus_sections(&mut container)?;
+    container.finish()?;
+    Ok(corpus)
+}
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written
+/// and fsynced first, then renamed over the target — so a crash mid-save
+/// can truncate only the temp file, never the previous good snapshot
+/// (which is the whole point of checkpointing for crash recovery).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    Ok(result?)
+}
+
+/// Writes a [`Corpus`] snapshot to `path` (atomically — see
+/// [`write_atomic`]). Returns the bytes written.
+pub fn save_corpus(path: impl AsRef<Path>, c: &Corpus) -> Result<u64, SnapshotError> {
+    let bytes = corpus_to_bytes(c);
+    write_atomic(path.as_ref(), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads a [`Corpus`] snapshot from `path`.
+pub fn load_corpus(path: impl AsRef<Path>) -> Result<Corpus, SnapshotError> {
+    corpus_from_bytes(&std::fs::read(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// InvertedIndex
+// ---------------------------------------------------------------------------
+
+fn index_payload(index: &InvertedIndex) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, index.num_terms() as u64);
+    for t in 0..index.num_terms() as TermId {
+        let list = index.postings(t);
+        put_u64(&mut buf, list.len() as u64);
+        for p in list {
+            put_u32(&mut buf, p.doc);
+            put_u32(&mut buf, p.tf);
+            put_f64(&mut buf, p.partial);
+        }
+    }
+    buf
+}
+
+/// Decodes one inverted-index payload. `expected_terms` / `num_docs`
+/// tighten validation when the surrounding snapshot knows the corpus
+/// shape (a standalone index snapshot does not).
+fn read_index_payload(
+    mut r: ByteReader<'_>,
+    expected_terms: Option<usize>,
+    num_docs: Option<usize>,
+) -> Result<InvertedIndex, SnapshotError> {
+    let n_terms = r.counted(8)?;
+    if expected_terms.is_some_and(|want| want != n_terms) {
+        return Err(SnapshotError::Malformed {
+            context: "segment term count disagrees with the corpus vocabulary",
+        });
+    }
+    let mut lists: Vec<Vec<Posting>> = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        let n = r.counted(16)?;
+        let mut list: Vec<Posting> = Vec::with_capacity(n);
+        // One bounds check per list, then a chunked decode (`counted`
+        // proved the bytes are present).
+        let raw = r.take(n * 16)?;
+        for entry in raw.chunks_exact(16) {
+            let doc = u32::from_le_bytes([entry[0], entry[1], entry[2], entry[3]]);
+            let tf = u32::from_le_bytes([entry[4], entry[5], entry[6], entry[7]]);
+            let partial = f64::from_bits(u64::from_le_bytes([
+                entry[8], entry[9], entry[10], entry[11], entry[12], entry[13], entry[14],
+                entry[15],
+            ]));
+            if !partial.is_finite() || !(0.0..=MAX_STORED_VALUE).contains(&partial) {
+                // `posting_order` (and every downstream sort) requires
+                // total-ordering partials, and `ScanSource` feeds the
+                // value straight into `Score::new`, which panics on
+                // negatives (and on the +inf an implausibly huge value
+                // produces when summed) — a forged value here must be a
+                // typed error, not a query-time panic.
+                return Err(SnapshotError::Malformed {
+                    context: "posting partial score outside the plausible range",
+                });
+            }
+            if num_docs.is_some_and(|n| doc as usize >= n) {
+                return Err(SnapshotError::Malformed {
+                    context: "posting references a document outside the corpus",
+                });
+            }
+            let posting = Posting { doc, tf, partial };
+            if list
+                .last()
+                .is_some_and(|prev| InvertedIndex::posting_order(prev, &posting).is_gt())
+            {
+                return Err(SnapshotError::Malformed {
+                    context: "posting list not in (partial desc, doc asc) order",
+                });
+            }
+            list.push(posting);
+        }
+        lists.push(list);
+    }
+    r.finish()?;
+    Ok(InvertedIndex::from_sorted_lists(lists))
+}
+
+/// Serializes an [`InvertedIndex`] to snapshot bytes. Stored partial
+/// scores travel as [`f64::to_bits`] words — the load is bit-exact.
+pub fn index_to_bytes(index: &InvertedIndex) -> Vec<u8> {
+    assemble(KIND_INDEX, vec![(TAG_INDEX, index_payload(index))])
+}
+
+/// Decodes an [`InvertedIndex`] snapshot produced by [`index_to_bytes`].
+pub fn index_from_bytes(bytes: &[u8]) -> Result<InvertedIndex, SnapshotError> {
+    let mut container = Container::open(bytes, KIND_INDEX)?;
+    let index = read_index_payload(
+        container.section(TAG_INDEX, "inverted index section")?,
+        None,
+        None,
+    )?;
+    container.finish()?;
+    Ok(index)
+}
+
+/// Writes an [`InvertedIndex`] snapshot to `path`. Returns the bytes
+/// written.
+pub fn save_index(path: impl AsRef<Path>, index: &InvertedIndex) -> Result<u64, SnapshotError> {
+    let bytes = index_to_bytes(index);
+    write_atomic(path.as_ref(), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads an [`InvertedIndex`] snapshot from `path`.
+pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, SnapshotError> {
+    index_from_bytes(&std::fs::read(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedIndex (the full serving state)
+// ---------------------------------------------------------------------------
+
+fn weights_payload(weights: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, weights.len() as u64);
+    for &w in weights {
+        put_f64(&mut buf, w);
+    }
+    buf
+}
+
+fn read_weights(mut r: ByteReader<'_>, num_docs: usize) -> Result<Vec<f64>, SnapshotError> {
+    let n = r.counted(8)?;
+    if n != num_docs {
+        return Err(SnapshotError::Malformed {
+            context: "weight table size disagrees with the document count",
+        });
+    }
+    let mut weights = Vec::with_capacity(n);
+    let raw = r.take(n * 8)?;
+    for b in raw.chunks_exact(8) {
+        let w = f64::from_bits(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]));
+        if !w.is_finite() || !(0.0..=MAX_STORED_VALUE).contains(&w) {
+            // `W(d)` is a sum of non-negative IDF terms; a negative or
+            // implausibly huge value is forged and would skew (or
+            // overflow) the similarity prefilter.
+            return Err(SnapshotError::Malformed {
+                context: "document weight outside the plausible range",
+            });
+        }
+        weights.push(w);
+    }
+    r.finish()?;
+    Ok(weights)
+}
+
+fn tombstones_payload(deleted: &Tombstones) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let words = deleted.words();
+    put_u64(&mut buf, words.len() as u64);
+    for &w in words {
+        put_u64(&mut buf, w);
+    }
+    buf
+}
+
+fn read_tombstones(mut r: ByteReader<'_>, num_docs: usize) -> Result<Tombstones, SnapshotError> {
+    let n = r.counted(8)?;
+    if n > num_docs.div_ceil(64) {
+        return Err(SnapshotError::Malformed {
+            context: "tombstone bitset wider than the document id space",
+        });
+    }
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(r.u64()?);
+    }
+    if let Some(&last) = words.last() {
+        // A mark past the last allocated id would make the live-document
+        // accounting (`num_docs - deleted`) underflow.
+        let used_bits = num_docs - (words.len() - 1) * 64;
+        if used_bits < 64 && last >> used_bits != 0 {
+            return Err(SnapshotError::Malformed {
+                context: "tombstone set for an unallocated document id",
+            });
+        }
+    }
+    r.finish()?;
+    Ok(Tombstones::from_words(words))
+}
+
+/// Serializes a full [`SegmentedIndex`] — corpus epoch, incremental
+/// weight table, every segment's posting lists (bit-exact), tombstones,
+/// and the compaction counter — plus a caller-supplied `generation`
+/// (the serving engine's snapshot epoch; pass 0 when not serving).
+pub fn segmented_to_bytes(index: &SegmentedIndex, generation: u64) -> Vec<u8> {
+    let mut meta = Vec::new();
+    put_u64(&mut meta, generation);
+    put_u64(&mut meta, index.compactions());
+    put_u64(&mut meta, index.num_segments() as u64);
+    let mut sections = vec![(TAG_META, meta)];
+    corpus_sections(index.corpus(), &mut sections);
+    sections.push((TAG_WEIGHTS, weights_payload(index.weights())));
+    sections.push((TAG_TOMB, tombstones_payload(index.tombstone_set())));
+    for segment in index.segments() {
+        sections.push((TAG_SEGMENT, index_payload(segment.index())));
+    }
+    assemble(KIND_SEGMENTED, sections)
+}
+
+/// Decodes a [`SegmentedIndex`] snapshot produced by
+/// [`segmented_to_bytes`]; returns the index and the saved generation.
+///
+/// The loaded index is **byte-identical** to the saved one: every scan
+/// and threshold-algorithm read (hits, metrics, early-stop point)
+/// reproduces the in-memory engine's bits, and
+/// [`SegmentedIndex::verify_rebuild_equivalence`] holds on the loaded
+/// state exactly as it did on the saved one (`tests/persistence.rs`).
+pub fn segmented_from_bytes(bytes: &[u8]) -> Result<(SegmentedIndex, u64), SnapshotError> {
+    let mut container = Container::open(bytes, KIND_SEGMENTED)?;
+    let mut meta = container.section(TAG_META, "snapshot meta section")?;
+    let generation = meta.u64()?;
+    let compactions = meta.u64()?;
+    let n_segments = meta.u64()?;
+    meta.finish()?;
+    if n_segments == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "snapshot declares zero segments",
+        });
+    }
+    let corpus = read_corpus_sections(&mut container)?;
+    let weights = read_weights(
+        container.section(TAG_WEIGHTS, "weight table section")?,
+        corpus.num_docs(),
+    )?;
+    let deleted = read_tombstones(
+        container.section(TAG_TOMB, "tombstone section")?,
+        corpus.num_docs(),
+    )?;
+    let mut segments = Vec::new();
+    // Segments must cover pairwise-disjoint doc-id sets — the invariant
+    // the merged-bound soundness proof (DESIGN.md §8) rests on; an
+    // overlap would serve duplicate hits, so it is rejected like every
+    // other CRC-valid-but-inconsistent payload.
+    let words = corpus.num_docs().div_ceil(64);
+    let mut claimed = vec![0u64; words];
+    for _ in 0..n_segments {
+        let index = read_index_payload(
+            container.section(TAG_SEGMENT, "segment section")?,
+            Some(corpus.num_terms()),
+            Some(corpus.num_docs()),
+        )?;
+        let mut mine = vec![0u64; words];
+        for t in 0..index.num_terms() as TermId {
+            for p in index.postings(t) {
+                mine[p.doc as usize / 64] |= 1u64 << (p.doc as usize % 64);
+            }
+        }
+        for (seen, m) in claimed.iter_mut().zip(&mine) {
+            if *seen & *m != 0 {
+                return Err(SnapshotError::Malformed {
+                    context: "two segments claim the same document",
+                });
+            }
+            *seen |= *m;
+        }
+        segments.push(Arc::new(Segment::new(index)));
+    }
+    container.finish()?;
+    Ok((
+        SegmentedIndex::from_parts(
+            Arc::new(corpus),
+            Arc::new(weights),
+            segments,
+            deleted,
+            compactions,
+        ),
+        generation,
+    ))
+}
+
+/// Writes a [`SegmentedIndex`] snapshot (plus the caller's generation)
+/// to `path`. Returns the bytes written.
+pub fn save_segmented(
+    path: impl AsRef<Path>,
+    index: &SegmentedIndex,
+    generation: u64,
+) -> Result<u64, SnapshotError> {
+    let bytes = segmented_to_bytes(index, generation);
+    write_atomic(path.as_ref(), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads a [`SegmentedIndex`] snapshot (and its saved generation) from
+/// `path`.
+pub fn load_segmented(path: impl AsRef<Path>) -> Result<(SegmentedIndex, u64), SnapshotError> {
+    segmented_from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, generate};
+
+    #[test]
+    fn crc32_matches_the_reference_vectors() {
+        // The canonical IEEE check value, plus zlib-verified spot checks.
+        // "123456789" (9 bytes) covers only the byte-at-a-time remainder
+        // loop; the 43-byte fox sentence drives the slice-by-16 fold
+        // path (2 full blocks + 11 remainder bytes) against a pinned
+        // external value, so a table-indexing bug in `crc_fold` cannot
+        // hide behind writer/reader sharing one implementation.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"divtopk"), crc32(b"divtopk"));
+        assert_ne!(crc32(b"divtopk"), crc32(b"divtopj"));
+        // Fold path ≡ remainder path on the same input.
+        let long: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut byte_at_a_time = 0xFFFF_FFFFu32;
+        for &b in &long {
+            byte_at_a_time = (byte_at_a_time >> 8)
+                ^ CRC_TABLES[0][((byte_at_a_time ^ b as u32) & 0xFF) as usize];
+        }
+        assert_eq!(crc32(&long), byte_at_a_time ^ 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn corpus_round_trips_bit_for_bit() {
+        let corpus = generate(&SynthConfig::tiny());
+        let loaded = corpus_from_bytes(&corpus_to_bytes(&corpus)).unwrap();
+        assert_eq!(loaded.num_docs(), corpus.num_docs());
+        assert_eq!(loaded.num_terms(), corpus.num_terms());
+        assert_eq!(loaded.docs(), corpus.docs());
+        for t in 0..corpus.num_terms() as TermId {
+            assert_eq!(loaded.doc_freq(t), corpus.doc_freq(t));
+            assert_eq!(loaded.idf(t).to_bits(), corpus.idf(t).to_bits());
+            assert_eq!(
+                loaded.vocab().term(t),
+                corpus.vocab().term(t),
+                "term {t} renamed"
+            );
+        }
+    }
+
+    #[test]
+    fn index_round_trips_bit_for_bit() {
+        let corpus = generate(&SynthConfig::tiny());
+        let index = InvertedIndex::build(&corpus);
+        let loaded = index_from_bytes(&index_to_bytes(&index)).unwrap();
+        assert_eq!(loaded.num_terms(), index.num_terms());
+        assert_eq!(loaded.num_postings(), index.num_postings());
+        for t in 0..index.num_terms() as TermId {
+            let (a, b) = (index.postings(t), loaded.postings(t));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!((x.doc, x.tf), (y.doc, y.tf));
+                assert_eq!(x.partial.to_bits(), y.partial.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn implausibly_large_idf_is_rejected_even_with_a_valid_crc() {
+        // Each value individually finite is not enough: 1e200 + 1e200
+        // at query time is +inf → `Score::new` panic. The plausibility
+        // cap stops the forged table at decode.
+        let mut b = crate::corpus::CorpusBuilder::with_synthetic_vocab(2);
+        b.add_tokens("d".into(), vec![0, 1]);
+        let good = b.build();
+        let forged = Corpus::from_parts(
+            good.vocab().clone(),
+            good.docs().to_vec(),
+            vec![1, 1],
+            vec![1e200, 1e200],
+        );
+        match corpus_from_bytes(&corpus_to_bytes(&forged)) {
+            Err(SnapshotError::Malformed { context }) => {
+                assert!(context.contains("IDF"), "{context}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saves_are_atomic_and_leave_no_temp_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("divtopk-atomic-{}.snapshot", std::process::id()));
+        let small = generate(&SynthConfig {
+            num_docs: 20,
+            ..SynthConfig::tiny()
+        });
+        let large = generate(&SynthConfig {
+            num_docs: 40,
+            ..SynthConfig::tiny()
+        });
+        // Overwriting a longer snapshot with a shorter one must leave
+        // exactly the new bytes (rename semantics, not in-place write).
+        save_corpus(&path, &large).unwrap();
+        save_corpus(&path, &small).unwrap();
+        let loaded = load_corpus(&path).unwrap();
+        assert_eq!(loaded.num_docs(), 20);
+        let tmp_left = std::fs::read_dir(&dir).unwrap().any(|e| {
+            e.unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with(&format!(
+                    "divtopk-atomic-{}.snapshot.tmp",
+                    std::process::id()
+                ))
+        });
+        assert!(!tmp_left, "temp file leaked");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn negative_partials_are_rejected_even_with_a_valid_crc() {
+        // `ScanSource` feeds stored partials straight into `Score::new`,
+        // which panics on negatives — so a forged-but-CRC-valid snapshot
+        // must be stopped at decode, not at query time.
+        let index = InvertedIndex::from_sorted_lists(vec![vec![Posting {
+            doc: 0,
+            tf: 1,
+            partial: -1.0,
+        }]]);
+        match index_from_bytes(&index_to_bytes(&index)) {
+            Err(SnapshotError::Malformed { context }) => {
+                assert!(context.contains("partial"), "{context}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_segments_are_rejected() {
+        // Disjoint segment doc sets are the invariant the merged-bound
+        // soundness proof rests on; a snapshot whose segments share a
+        // document must not load.
+        let corpus = generate(&SynthConfig::tiny());
+        let seg_a = Segment::new(InvertedIndex::build_range(&corpus, 0..40));
+        let seg_b = Segment::new(InvertedIndex::build_range(&corpus, 30..80));
+        let overlapping = SegmentedIndex::from_parts(
+            Arc::new(corpus.clone()),
+            Arc::new(crate::search::doc_weights(&corpus)),
+            vec![Arc::new(seg_a), Arc::new(seg_b)],
+            Tombstones::default(),
+            0,
+        );
+        match segmented_from_bytes(&segmented_to_bytes(&overlapping, 0)) {
+            Err(SnapshotError::Malformed { context }) => {
+                assert!(context.contains("same document"), "{context}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_confusion_is_a_typed_error() {
+        let corpus = generate(&SynthConfig::tiny());
+        let bytes = corpus_to_bytes(&corpus);
+        assert!(matches!(
+            segmented_from_bytes(&bytes),
+            Err(SnapshotError::WrongKind {
+                found: KIND_CORPUS,
+                expected: KIND_SEGMENTED
+            })
+        ));
+        assert!(matches!(
+            index_from_bytes(&bytes),
+            Err(SnapshotError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let corpus = generate(&SynthConfig::tiny());
+        let mut bytes = corpus_to_bytes(&corpus);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            corpus_from_bytes(&bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        bytes[0] ^= 0xFF;
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            corpus_from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_a_panic() {
+        assert!(matches!(
+            corpus_from_bytes(&[]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_section_length_is_rejected_before_any_slice() {
+        let corpus = generate(&SynthConfig::tiny());
+        let mut bytes = corpus_to_bytes(&corpus);
+        // First section header starts at offset 20; its u64 length at 24.
+        bytes[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            corpus_from_bytes(&bytes),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let corpus = generate(&SynthConfig::tiny());
+        let mut bytes = corpus_to_bytes(&corpus);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            corpus_from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let corpus = generate(&SynthConfig::tiny());
+        let mut bytes = corpus_to_bytes(&corpus);
+        bytes.push(0);
+        assert!(matches!(
+            corpus_from_bytes(&bytes),
+            Err(SnapshotError::TrailingBytes { extra: 1 })
+        ));
+    }
+}

@@ -97,6 +97,19 @@ impl Tombstones {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// The raw bitset words, for snapshot serialization
+    /// ([`crate::persist`]).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reassembles a tombstone set from decoded snapshot words; the count
+    /// is recomputed from the bits, so it can never disagree with them.
+    pub(crate) fn from_words(words: Vec<u64>) -> Tombstones {
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        Tombstones { words, len }
+    }
 }
 
 /// One immutable index chunk: an [`InvertedIndex`] over a subset of the
@@ -110,16 +123,38 @@ pub struct Segment {
 }
 
 impl Segment {
-    fn new(index: InvertedIndex) -> Segment {
-        let mut docs: Vec<DocId> = (0..index.num_terms() as TermId)
-            .flat_map(|t| index.postings(t).iter().map(|p| p.doc))
-            .collect();
-        docs.sort_unstable();
-        docs.dedup();
-        Segment {
-            index,
-            doc_count: docs.len(),
+    pub(crate) fn new(index: InvertedIndex) -> Segment {
+        // Count distinct docs via a bitset over the segment's own id
+        // span: O(postings + span/64) instead of collect-sort-dedup —
+        // this runs on every add batch and on every segment of a
+        // snapshot load. The bitset is offset by the minimum doc id, so
+        // a small late batch on a huge corpus (ids all near the top of
+        // the global space) stays O(batch), not O(corpus).
+        let mut lo = DocId::MAX;
+        let mut hi = 0;
+        let mut any = false;
+        for t in 0..index.num_terms() as TermId {
+            for p in index.postings(t) {
+                lo = lo.min(p.doc);
+                hi = hi.max(p.doc);
+                any = true;
+            }
         }
+        if !any {
+            return Segment {
+                index,
+                doc_count: 0,
+            };
+        }
+        let mut words = vec![0u64; ((hi - lo) as usize + 1).div_ceil(64)];
+        for t in 0..index.num_terms() as TermId {
+            for p in index.postings(t) {
+                let bit = (p.doc - lo) as usize;
+                words[bit / 64] |= 1u64 << (bit % 64);
+            }
+        }
+        let doc_count = words.iter().map(|w| w.count_ones() as usize).sum();
+        Segment { index, doc_count }
     }
 
     /// The segment's inverted index (global doc ids, frozen statistics).
@@ -188,6 +223,31 @@ impl SegmentedIndex {
             deleted: Tombstones::default(),
             compactions: 0,
         }
+    }
+
+    /// Reassembles a segmented index from decoded snapshot parts
+    /// ([`crate::persist`]); the caller has validated shape invariants
+    /// (segment/corpus term-count agreement, posting order, id ranges).
+    pub(crate) fn from_parts(
+        corpus: Arc<Corpus>,
+        weights: Arc<Vec<f64>>,
+        segments: Vec<Arc<Segment>>,
+        deleted: Tombstones,
+        compactions: u64,
+    ) -> SegmentedIndex {
+        SegmentedIndex {
+            corpus,
+            weights,
+            segments,
+            deleted,
+            compactions,
+        }
+    }
+
+    /// The tombstone bitset, for snapshot serialization
+    /// ([`crate::persist`]).
+    pub(crate) fn tombstone_set(&self) -> &Tombstones {
+        &self.deleted
     }
 
     /// The corpus view: every document ever added, under the frozen

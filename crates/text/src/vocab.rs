@@ -1,13 +1,19 @@
 //! The term dictionary.
 
 use crate::document::TermId;
-use std::collections::HashMap;
+use divtopk_core::fxhash::FxHashMap;
 
 /// Bidirectional string ↔ [`TermId`] mapping.
+///
+/// The lookup map uses the deterministic
+/// [`FxHasher`](divtopk_core::fxhash::FxHasher): dictionary
+/// construction sits on both the corpus build and the snapshot
+/// cold-start path (DESIGN.md §10), and SipHash's DoS hardening is the
+/// wrong trade for an internal map over the corpus's own terms.
 #[derive(Debug, Clone, Default)]
 pub struct Vocabulary {
     terms: Vec<String>,
-    index: HashMap<String, TermId>,
+    index: FxHashMap<String, TermId>,
 }
 
 impl Vocabulary {
@@ -23,6 +29,20 @@ impl Vocabulary {
             v.intern(&format!("t{i:06}"));
         }
         v
+    }
+
+    /// Builds a vocabulary from an ordered term list in one pass — the
+    /// snapshot load path ([`crate::persist`]), where the ids are already
+    /// assigned by position. Returns `None` if a term repeats (interning
+    /// would silently renumber everything after the duplicate).
+    pub(crate) fn from_terms(terms: Vec<String>) -> Option<Vocabulary> {
+        let mut index = FxHashMap::with_capacity_and_hasher(terms.len(), Default::default());
+        for (i, term) in terms.iter().enumerate() {
+            if index.insert(term.clone(), i as TermId).is_some() {
+                return None;
+            }
+        }
+        Some(Vocabulary { terms, index })
     }
 
     /// Returns the id for `term`, interning it if new.

@@ -1,0 +1,381 @@
+//! Cold-start persistence suite (DESIGN.md §10): a loaded snapshot must
+//! serve **byte-identically** to the engine that saved it, and corrupt
+//! input must come back as a typed [`SnapshotError`] — never a panic.
+//!
+//! Byte-equality is pinned the same way PR 3/4 pinned shards and
+//! segments: full [`SearchOutput`] equality (hits, total score, metrics —
+//! early-stop point included) between the in-memory state and the loaded
+//! state, plus the data-level `verify_rebuild_equivalence` oracle run
+//! directly on the loaded [`SegmentedIndex`]. The corruption half
+//! truncates a valid snapshot at every byte offset and flips a bit in
+//! every byte, asserting a typed error each time.
+
+use divtopk::engine::{Engine, EngineConfig, Query};
+use divtopk::text::persist::{self, SnapshotError};
+use divtopk::text::prelude::*;
+use divtopk_core::rng::Pcg;
+use std::path::PathBuf;
+
+fn base(n: usize) -> Corpus {
+    generate(&SynthConfig {
+        num_docs: n,
+        ..SynthConfig::tiny()
+    })
+}
+
+fn busy_term(c: &Corpus) -> TermId {
+    (0..c.num_terms() as TermId)
+        .max_by_key(|&t| c.doc_freq(t))
+        .unwrap()
+}
+
+fn ta_query(c: &Corpus) -> KeywordQuery {
+    let mut terms: Vec<TermId> = (0..c.num_terms() as TermId)
+        .filter(|&t| c.doc_freq(t) >= 6)
+        .collect();
+    terms.sort_by_key(|&t| std::cmp::Reverse(c.doc_freq(t)));
+    terms.truncate(2);
+    assert_eq!(terms.len(), 2, "need two busy terms");
+    KeywordQuery { terms }
+}
+
+/// A mutated serving state: base epoch + live adds + deletes + one
+/// compaction — segments, tombstones, and a bumped compaction counter
+/// all present in what gets persisted.
+fn mutated_state() -> SegmentedIndex {
+    let corpus = base(120);
+    let donor = generate(&SynthConfig {
+        num_docs: 160,
+        ..SynthConfig::tiny()
+    });
+    let mut seg = SegmentedIndex::build_partitioned(corpus, 2);
+    seg.add_docs((120..136u32).map(|d| donor.doc(d).clone()).collect());
+    seg.add_docs((136..150u32).map(|d| donor.doc(d).clone()).collect());
+    seg.delete_docs(&[0, 7, 121, 140]);
+    assert!(seg.compact() > 0);
+    seg
+}
+
+/// A deliberately small serving state (tiny vocabulary, a dozen docs)
+/// whose snapshot is a few KB — the corruption sweeps below are
+/// quadratic (every offset × a full parse), so they run on this, not on
+/// [`mutated_state`].
+fn small_state() -> SegmentedIndex {
+    let mut b = Corpus::builder();
+    b.add_text("storm-1", "storm surge floods coastal city downtown");
+    b.add_text("storm-2", "storm surge floods coastal city harbor");
+    b.add_text("sports", "cup final penalty shootout drama");
+    b.add_text("markets", "stocks rally earnings beat forecast");
+    for i in 0..8 {
+        b.add_text(&format!("f{i}"), "miscellaneous archive background noise");
+    }
+    let mut seg = SegmentedIndex::build_partitioned(b.build(), 2);
+    seg.add_text("storm-3", "storm surge evacuation ordered");
+    seg.add_text("markets-2", "stocks slide forecast cut");
+    seg.delete_docs(&[1, 12]);
+    assert!(seg.compact() > 0);
+    seg
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("divtopk-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn segmented_round_trip_serves_byte_identically() {
+    let seg = mutated_state();
+    let bytes = persist::segmented_to_bytes(&seg, 7);
+    let (loaded, generation) = persist::segmented_from_bytes(&bytes).unwrap();
+    assert_eq!(generation, 7);
+    assert_eq!(loaded.num_segments(), seg.num_segments());
+    assert_eq!(loaded.tombstones(), seg.tombstones());
+    assert_eq!(loaded.compactions(), seg.compactions());
+    // The PR 4 oracle holds on the *loaded* state directly.
+    loaded.verify_rebuild_equivalence().unwrap();
+    // Scan reads are byte-equal — hits, total score, and every metric,
+    // early-stop point included.
+    let term = busy_term(seg.corpus());
+    for k in [1usize, 5, 10] {
+        let options = SearchOptions::new(k).with_tau(0.4);
+        assert_eq!(
+            seg.search_scan(term, &options).unwrap(),
+            loaded.search_scan(term, &options).unwrap(),
+            "scan k={k}"
+        );
+    }
+    // TA reads too: the loaded segments are bit-identical and in the same
+    // order, so the whole pull sequence (and with it the output struct)
+    // reproduces exactly.
+    let query = ta_query(seg.corpus());
+    let options = SearchOptions::new(5).with_tau(0.4);
+    assert_eq!(
+        seg.search_ta(&query, &options).unwrap(),
+        loaded.search_ta(&query, &options).unwrap()
+    );
+}
+
+#[test]
+fn random_mutation_scripts_round_trip() {
+    let mut rng = Pcg::new(0x5EED_CAFE);
+    for trial in 0..5 {
+        let donor = generate(&SynthConfig {
+            num_docs: 200,
+            ..SynthConfig::tiny()
+        });
+        let mut builder = CorpusBuilder::with_synthetic_vocab(donor.num_terms());
+        for d in 0..80u32 {
+            builder.add_document(donor.doc(d).clone());
+        }
+        let mut seg = SegmentedIndex::build(builder.build());
+        let mut next = 80u32;
+        for _ in 0..12 {
+            match rng.below(3) {
+                0 if (next as usize) < 200 => {
+                    let take = (1 + rng.below(8)).min(200 - next);
+                    let batch: Vec<Document> =
+                        (next..next + take).map(|d| donor.doc(d).clone()).collect();
+                    seg.add_docs(batch);
+                    next += take;
+                }
+                1 => {
+                    let victims: Vec<DocId> =
+                        (0..3).map(|_| rng.below(seg.num_docs() as u32)).collect();
+                    seg.delete_docs(&victims);
+                }
+                _ => {
+                    seg.compact();
+                }
+            }
+        }
+        let bytes = persist::segmented_to_bytes(&seg, trial);
+        let (loaded, generation) = persist::segmented_from_bytes(&bytes).unwrap();
+        assert_eq!(generation, trial);
+        loaded.verify_rebuild_equivalence().unwrap();
+        let term = busy_term(seg.corpus());
+        let options = SearchOptions::new(5).with_tau(0.5);
+        assert_eq!(
+            seg.search_scan(term, &options).unwrap(),
+            loaded.search_scan(term, &options).unwrap(),
+            "trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn engine_snapshot_round_trip_preserves_generation_and_answers() {
+    let corpus = base(150);
+    let donor = generate(&SynthConfig {
+        num_docs: 180,
+        ..SynthConfig::tiny()
+    });
+    let engine = Engine::new(corpus, EngineConfig::new(2).with_threads(2));
+    engine.add_docs((150..165u32).map(|d| donor.doc(d).clone()).collect());
+    engine.delete_docs(&[3, 151]);
+    engine.compact();
+    let generation = engine.generation();
+    assert!(generation >= 2);
+
+    let path = temp_path("engine.snapshot");
+    let written = engine.save_snapshot(&path).unwrap();
+    assert!(written > 0);
+    let loaded = Engine::load_snapshot(&path, &EngineConfig::new(1).with_threads(2)).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    // The generation resumes; process-local counters start over.
+    assert_eq!(loaded.generation(), generation);
+    let stats = loaded.stats();
+    assert_eq!((stats.queries, stats.cache_entries), (0, 0));
+    assert_eq!(stats.segments, engine.stats().segments);
+    assert_eq!(stats.tombstones, engine.stats().tombstones);
+    loaded.verify_rebuild_equivalence().unwrap();
+
+    // Every query class answers byte-identically to the saved engine.
+    let term = busy_term(&engine.corpus());
+    let query = ta_query(&engine.corpus());
+    for k in [1usize, 4, 8] {
+        let options = SearchOptions::new(k).with_tau(0.5);
+        assert_eq!(
+            engine.search(&Query::Scan(term), &options).unwrap(),
+            loaded.search(&Query::Scan(term), &options).unwrap(),
+            "scan k={k}"
+        );
+        assert_eq!(
+            engine
+                .search(&Query::Keywords(query.clone()), &options)
+                .unwrap(),
+            loaded
+                .search(&Query::Keywords(query.clone()), &options)
+                .unwrap(),
+            "ta k={k}"
+        );
+    }
+}
+
+#[test]
+fn loaded_engine_keeps_mutating_from_where_it_stood() {
+    let engine = Engine::new(base(100), EngineConfig::new(2).with_threads(1));
+    engine.delete_docs(&[5]);
+    let path = temp_path("resume.snapshot");
+    engine.save_snapshot(&path).unwrap();
+    let loaded = Engine::load_snapshot(&path, &EngineConfig::default()).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let donor = generate(&SynthConfig {
+        num_docs: 120,
+        ..SynthConfig::tiny()
+    });
+    let range = loaded.add_docs((100..110u32).map(|d| donor.doc(d).clone()).collect());
+    assert_eq!(range, 100..110);
+    assert_eq!(loaded.generation(), engine.generation() + 1);
+    assert_eq!(loaded.delete_docs(&[105]), 1);
+    loaded.compact();
+    loaded.verify_rebuild_equivalence().unwrap();
+}
+
+#[test]
+fn corpus_and_index_file_round_trips() {
+    let corpus = base(60);
+    let index = InvertedIndex::build(&corpus);
+    let cpath = temp_path("corpus.snapshot");
+    let ipath = temp_path("index.snapshot");
+    persist::save_corpus(&cpath, &corpus).unwrap();
+    persist::save_index(&ipath, &index).unwrap();
+    let lcorpus = persist::load_corpus(&cpath).unwrap();
+    let lindex = persist::load_index(&ipath).unwrap();
+    std::fs::remove_file(&cpath).unwrap();
+    std::fs::remove_file(&ipath).unwrap();
+    assert_eq!(lcorpus.docs(), corpus.docs());
+    for t in 0..corpus.num_terms() as TermId {
+        assert_eq!(lcorpus.idf(t).to_bits(), corpus.idf(t).to_bits());
+        let (a, b) = (index.postings(t), lindex.postings(t));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                (x.doc, x.tf, x.partial.to_bits()),
+                (y.doc, y.tf, y.partial.to_bits())
+            );
+        }
+    }
+    // A fresh searcher over the loaded pair answers byte-identically.
+    let term = busy_term(&corpus);
+    let options = SearchOptions::new(4).with_tau(0.5);
+    let want = DiversifiedSearcher::new(&corpus, &index)
+        .search_scan(term, &options)
+        .unwrap();
+    let got = DiversifiedSearcher::new(&lcorpus, &lindex)
+        .search_scan(term, &options)
+        .unwrap();
+    assert_eq!(want, got);
+}
+
+/// Walks the container structure of a valid snapshot and returns every
+/// section boundary offset (header end, then after each section header
+/// and each payload).
+fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut offsets = vec![8, 12, 16, 20]; // magic, version, kind, count
+    let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let mut pos = 20;
+    for _ in 0..count {
+        pos += 4; // tag
+        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+        pos += 8 + 4; // len + crc
+        offsets.push(pos);
+        pos += len;
+        offsets.push(pos);
+    }
+    assert_eq!(pos, bytes.len(), "boundary walk must cover the whole file");
+    offsets
+}
+
+#[test]
+fn truncation_at_every_offset_is_a_typed_error() {
+    let seg = small_state();
+    let bytes = persist::segmented_to_bytes(&seg, 1);
+    // Every section boundary (the headline corruption mode)…
+    for &cut in &section_boundaries(&bytes) {
+        if cut == bytes.len() {
+            continue;
+        }
+        let err = persist::segmented_from_bytes(&bytes[..cut])
+            .expect_err("truncated snapshot must not load");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::Malformed { .. }
+            ),
+            "boundary {cut}: unexpected error {err:?}"
+        );
+    }
+    // …and, since parses are cheap, literally every prefix.
+    for cut in 0..bytes.len() {
+        assert!(
+            persist::segmented_from_bytes(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes must not load"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_in_every_byte_are_typed_errors() {
+    let seg = small_state();
+    let mut bytes = persist::segmented_to_bytes(&seg, 1);
+    for i in 0..bytes.len() {
+        let mask = 1u8 << (i % 8);
+        bytes[i] ^= mask;
+        assert!(
+            persist::segmented_from_bytes(&bytes).is_err(),
+            "flip at byte {i} must not load"
+        );
+        bytes[i] ^= mask;
+    }
+    // The pristine buffer still loads — the loop restored every byte.
+    persist::segmented_from_bytes(&bytes).unwrap();
+}
+
+#[test]
+fn wrong_format_version_fixture_is_rejected() {
+    let fixture =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/wrong_version.snapshot");
+    let bytes = std::fs::read(&fixture).expect("checked-in fixture");
+    match persist::segmented_from_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found: 9 }) => {}
+        other => panic!("expected UnsupportedVersion {{ found: 9 }}, got {other:?}"),
+    }
+    // The file-level entry points agree.
+    assert!(matches!(
+        persist::load_corpus(&fixture),
+        Err(SnapshotError::UnsupportedVersion { found: 9 })
+    ));
+    assert!(matches!(
+        Engine::load_snapshot(&fixture, &EngineConfig::default()),
+        Err(SnapshotError::UnsupportedVersion { found: 9 })
+    ));
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let path = temp_path("does-not-exist.snapshot");
+    assert!(matches!(
+        Engine::load_snapshot(&path, &EngineConfig::default()),
+        Err(SnapshotError::Io(_))
+    ));
+    assert!(matches!(
+        persist::load_corpus(&path),
+        Err(SnapshotError::Io(_))
+    ));
+}
+
+#[test]
+fn snapshot_error_display_is_informative() {
+    let seg = small_state();
+    let bytes = persist::segmented_to_bytes(&seg, 1);
+    let err = persist::segmented_from_bytes(&bytes[..10]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("truncated"), "got: {msg}");
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 1;
+    let msg = persist::segmented_from_bytes(&flipped)
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("checksum mismatch"), "got: {msg}");
+}
