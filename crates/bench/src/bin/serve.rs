@@ -1,0 +1,128 @@
+//! `serve` — the standalone serving binary: builds (or loads) an engine,
+//! binds the wire protocol on a TCP port, prints `LISTENING <addr>` on
+//! stdout, and serves until stdin closes (how CI and scripts stop it
+//! cleanly without signal handling).
+//!
+//! ```text
+//! serve [--port N] [--shards N] [--docs N] [--snapshot PATH]
+//!       [--cache N] [--pull-workers N] [--workers N] [--queue N] [--seed N]
+//! ```
+//!
+//! Without `--snapshot` the corpus is the deterministic reuters-like
+//! synthetic collection (same generator as the benchmarks), so a load
+//! generator pointed at the printed address replays a reproducible
+//! workload end to end.
+
+use divtopk_engine::prelude::*;
+use divtopk_text::prelude::*;
+use std::io::Read;
+use std::sync::Arc;
+
+struct Args {
+    port: u16,
+    shards: usize,
+    docs: usize,
+    snapshot: Option<String>,
+    cache: usize,
+    pull_workers: Option<usize>,
+    workers: usize,
+    queue: usize,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            port: 0,
+            shards: 4,
+            docs: 4000,
+            snapshot: None,
+            cache: 256,
+            pull_workers: None,
+            workers: 0,
+            queue: 64,
+            seed: 0x0600,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--port" => args.port = parse(&value("--port")?)?,
+                "--shards" => args.shards = parse(&value("--shards")?)?,
+                "--docs" => args.docs = parse(&value("--docs")?)?,
+                "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+                "--cache" => args.cache = parse(&value("--cache")?)?,
+                "--pull-workers" => {
+                    args.pull_workers = Some(parse(&value("--pull-workers")?)?);
+                }
+                "--workers" => args.workers = parse(&value("--workers")?)?,
+                "--queue" => args.queue = parse(&value("--queue")?)?,
+                "--seed" => args.seed = parse(&value("--seed")?)?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad numeric value {s:?}"))
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(why) => {
+            eprintln!("serve: {why}");
+            eprintln!(
+                "usage: serve [--port N] [--shards N] [--docs N] [--snapshot PATH] \
+                 [--cache N] [--pull-workers N] [--workers N] [--queue N] [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut config = EngineConfig::new(args.shards).with_cache_capacity(args.cache);
+    if let Some(pull_workers) = args.pull_workers {
+        config = config.with_pull_workers(pull_workers);
+    }
+    let engine = match &args.snapshot {
+        Some(path) => Engine::load_snapshot(path, &config)
+            .unwrap_or_else(|e| panic!("loading snapshot {path}: {e}")),
+        None => {
+            let corpus = generate(
+                &SynthConfig::reuters_like()
+                    .with_num_docs(args.docs)
+                    .with_seed(args.seed),
+            );
+            Engine::new(corpus, config)
+        }
+    };
+    eprintln!(
+        "[serve] generation {} · {} segments · {} docs · {} terms · {} pull workers",
+        engine.generation(),
+        engine.stats().segments,
+        engine.corpus().num_docs(),
+        engine.corpus().num_terms(),
+        engine.pull_workers(),
+    );
+    let server_config = ServerConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+    };
+    let server = Server::start(
+        Arc::new(engine),
+        &format!("127.0.0.1:{}", args.port),
+        server_config,
+    )
+    .unwrap_or_else(|e| panic!("binding port {}: {e}", args.port));
+    // The machine-readable ready line scripts and CI wait for.
+    println!("LISTENING {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    // Serve until stdin closes — the portable, dependency-free stop
+    // signal (CI pipes `sleep`'s stdout in; closing it stops the server).
+    let mut sink = Vec::new();
+    std::io::stdin().read_to_end(&mut sink).ok();
+    drop(server); // Drop shuts down: drain queue, close connections, join.
+    eprintln!("[serve] stdin closed, shut down cleanly");
+}

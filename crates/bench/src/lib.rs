@@ -5,6 +5,7 @@
 //! trajectory files (`BENCH_*.json`, DESIGN.md §7).
 
 pub mod json;
+pub mod load;
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};

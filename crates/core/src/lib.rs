@@ -74,6 +74,8 @@ pub mod merge;
 pub mod metrics;
 pub mod nodeset;
 pub mod ops;
+pub mod pool;
+pub mod prefetch;
 pub mod rng;
 pub mod score;
 pub mod sim;
@@ -100,6 +102,8 @@ pub mod prelude {
     pub use crate::merge::MergedSource;
     pub use crate::metrics::{FrameworkMetrics, SearchMetrics};
     pub use crate::nodeset::{DenseNodeSet, NodeSet};
+    pub use crate::pool::{Scope, WorkerPool};
+    pub use crate::prefetch::{DEFAULT_PREFETCH_DEPTH, PrefetchedSource};
     pub use crate::score::Score;
     pub use crate::sim::{Similarity, ThresholdSimilarity};
     pub use crate::solution::{SearchResult, SizedSolution};

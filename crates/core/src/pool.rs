@@ -1,0 +1,363 @@
+//! A dependency-free work-stealing worker pool with scoped (borrowing)
+//! tasks — built in-repo for the same reason [`crate::fxhash`] was: the
+//! serving tier needs it on the hot path and the toolchain is offline.
+//!
+//! ## Shape
+//!
+//! A [`WorkerPool`] owns N persistent worker threads and N mutex-guarded
+//! deques. Spawns are distributed round-robin across the deques; a worker
+//! pops its own deque from the back (LIFO — cache-warm) and **steals from
+//! the front of its siblings' deques** (FIFO — oldest work first) when its
+//! own runs dry. Task granularity in this repo is coarse (one task pumps
+//! one per-shard result source), so a lock per deque operation is noise
+//! next to the work a task performs; the stealing is what matters — it
+//! keeps every core busy regardless of which deque a burst landed on.
+//!
+//! ## Scoped tasks
+//!
+//! [`WorkerPool::scope`] mirrors [`std::thread::scope`]: tasks spawned
+//! inside the scope may borrow from the enclosing frame, and the scope
+//! does not return until every one of them has finished — **including
+//! when the scope body panics** (the tasks may borrow locals the unwind
+//! is about to destroy, so the wait is unconditional). The first task
+//! panic is captured and re-raised on the caller thread after the wait,
+//! exactly like a scoped `join`.
+//!
+//! Tasks must never *block on pool capacity*: a task that parks its
+//! worker waiting for another task that has not been scheduled yet can
+//! deadlock an N-thread pool. The prefetch layer ([`crate::prefetch`])
+//! is written cooperatively around this rule — producers park themselves
+//! (return) when their queue is full and are re-spawned by the consumer,
+//! so a pool of **any** size ≥ 1 makes progress.
+
+use std::collections::VecDeque;
+use std::panic::{AssertUnwindSafe, catch_unwind, resume_unwind};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// An erased, heap-allocated task. Lifetime-erased to `'static` at spawn;
+/// soundness is the scope's job (it refuses to return before the task
+/// does).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// One deque per worker. Spawns land round-robin; owners pop the
+    /// back, thieves steal the front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Wakes idle workers. The paired mutex guards nothing by itself —
+    /// it only serializes the sleep/notify handshake so a push between
+    /// "scanned empty" and "went to sleep" cannot be missed.
+    signal: Mutex<()>,
+    bell: Condvar,
+    shutdown: AtomicBool,
+    next_deque: AtomicUsize,
+}
+
+impl PoolShared {
+    fn inject(&self, task: Task) {
+        let slot = self.next_deque.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.deques[slot].lock().unwrap().push_back(task);
+        // Serialize against sleepers (see `signal`), then ring.
+        drop(self.signal.lock().unwrap());
+        self.bell.notify_one();
+    }
+
+    /// Pop own work (LIFO), else steal oldest work from a sibling (FIFO).
+    fn find_task(&self, me: usize) -> Option<Task> {
+        if let Some(task) = self.deques[me].lock().unwrap().pop_back() {
+            return Some(task);
+        }
+        let n = self.deques.len();
+        (1..n).find_map(|step| self.deques[(me + step) % n].lock().unwrap().pop_front())
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            while let Some(task) = self.find_task(me) {
+                task();
+            }
+            let guard = self.signal.lock().unwrap();
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Re-check under the signal lock: a task injected after the
+            // scan above has already taken (or is about to take) this
+            // lock to notify, so it cannot slip past the wait.
+            if let Some(task) = self.find_task(me) {
+                drop(guard);
+                task();
+                continue;
+            }
+            drop(self.bell.wait(guard).unwrap());
+        }
+    }
+}
+
+/// The pool: persistent worker threads + work-stealing deques. Dropping
+/// the pool shuts the workers down and joins them (queued tasks of live
+/// scopes always finish first — a scope cannot outlive its pool because
+/// it borrows the pool).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` persistent workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` (a configuration error: a zero-thread
+    /// pool can never run anything).
+    pub fn new(threads: usize) -> WorkerPool {
+        assert!(threads >= 1, "worker pool needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Mutex::new(()),
+            bell: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_deque: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("divtopk-pool-{me}"))
+                    .spawn(move || shared.worker_loop(me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `body` with a [`Scope`] on which borrowing tasks can be
+    /// spawned, then waits for all of them (even if `body` panics — see
+    /// the module docs). The first captured task panic is re-raised here
+    /// after the wait; a panic in `body` itself wins if both happen.
+    pub fn scope<'env, F, R>(&'env self, body: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                remaining: Mutex::new(0),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            _scope: std::marker::PhantomData,
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| body(&scope)));
+        scope.state.wait_all();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = scope.state.panic.lock().unwrap().take() {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let _guard = self.shared.signal.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.bell.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct ScopeState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn wait_all(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+}
+
+/// A spawn handle tied to one [`WorkerPool::scope`] call. `'scope` is
+/// invariant (the marker below), exactly like [`std::thread::Scope`] —
+/// tasks may borrow anything that outlives the scope body.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'env WorkerPool,
+    state: Arc<ScopeState>,
+    _scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawns `task` onto the pool. The task may borrow data from the
+    /// enclosing frame; the scope waits for it before returning. A panic
+    /// inside the task is captured (first one wins) and re-raised when
+    /// the scope closes — it never takes a pool worker down.
+    pub fn spawn<F>(&'scope self, task: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.remaining.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut remaining = state.remaining.lock().unwrap();
+            *remaining -= 1;
+            if *remaining == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: the closure only borrows data alive for 'scope, and the
+        // scope (via `ScopeState::wait_all`, run unconditionally before
+        // `WorkerPool::scope` returns) guarantees the task has completed
+        // before any of those borrows can dangle. This is the standard
+        // scoped-pool erasure, the same argument `std::thread::scope`
+        // makes for its own join-before-return.
+        let wrapped: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(wrapped) };
+        self.pool.shared.inject(wrapped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scoped_tasks_borrow_and_all_run() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicU64::new(0);
+        let data: Vec<u64> = (0..100).collect();
+        pool.scope(|scope| {
+            for chunk in data.chunks(7) {
+                scope.spawn(|| {
+                    let s: u64 = chunk.iter().sum();
+                    counter.fetch_add(s, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn a_single_thread_pool_still_completes_everything() {
+        let pool = WorkerPool::new(1);
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for _ in 0..50 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn scopes_are_reusable_and_sequential_scopes_do_not_interfere() {
+        let pool = WorkerPool::new(2);
+        for round in 0..20u64 {
+            let counter = AtomicU64::new(0);
+            pool.scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        counter.fetch_add(round + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 8 * (round + 1));
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_to_the_scope_caller_not_the_worker() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("task boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives: its workers caught the panic and kept going.
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            scope.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn body_panic_still_waits_for_inflight_tasks() {
+        let pool = WorkerPool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = Arc::clone(&ran);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                let ran = Arc::clone(&ran2);
+                scope.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                panic!("body boom");
+            });
+        }));
+        assert!(result.is_err());
+        // The scope refused to unwind past the live task.
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stealing_drains_an_imbalanced_load() {
+        // 64 tasks land round-robin on 4 deques; each task busy-spins a
+        // little so completion requires every worker to participate.
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU64::new(0);
+        let counter = &counter;
+        pool.scope(|scope| {
+            for i in 0..64u64 {
+                scope.spawn(move || {
+                    let mut x = i;
+                    for _ in 0..1000 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    std::hint::black_box(x); // keep the spin from folding away
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}

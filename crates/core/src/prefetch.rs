@@ -1,0 +1,302 @@
+//! Parallel shard pulls that are **observably identical** to sequential
+//! ones: each underlying [`ResultSource`] is pumped eagerly on the
+//! [`crate::pool::WorkerPool`] into a bounded queue, and the consumer-side
+//! facade ([`PrefetchedSource`]) replays its emissions *and its bound
+//! trajectory* in exact lockstep.
+//!
+//! ## Why the merge cannot tell the difference
+//!
+//! [`crate::merge::MergedSource`] observes a source through exactly two
+//! operations: `next_result()` and `unseen_bound()`. For any sequential
+//! source, the bound is a pure function of how many results have been
+//! pulled — it only changes *at* a pull. The pump therefore records, with
+//! every result it pulls, the source's bound **immediately after that
+//! pull**, and the facade installs that recorded bound at the moment the
+//! consumer pops the result. The (emission, bound-after-emission) sequence
+//! the merge sees is therefore the sequential sequence, bit for bit — no
+//! matter how far ahead the producer ran. Hits, total score, every metric
+//! counter, and the early-stop point follow (the engine's property suites
+//! pin this; see `tests/parallel_merge.rs`).
+//!
+//! The facade's *initial* bound is captured **before** the source moves to
+//! the worker — this matters: a TA source's bound is already finite at
+//! construction (its round-0 threshold), not `Unbounded`.
+//!
+//! ## Why the pool cannot deadlock
+//!
+//! Producers are **cooperative**: a pump task never blocks its worker.
+//! When its queue is full it *parks* — records the fact under the queue
+//! lock and returns, freeing the worker thread. The consumer re-spawns the
+//! pump (onto the same scope, so the scope's completion guarantee covers
+//! the respawn) the next time it pops an item and finds the feed parked.
+//! With S shards, P pool threads and any P ≥ 1, every pump therefore gets
+//! scheduled eventually: running pumps either finish their source or park,
+//! and parked pumps occupy no thread. Early stop is the same mechanism in
+//! reverse: dropping the facade cancels the feed, a parked pump is
+//! finalized inline, a running pump observes the flag at its next loop
+//! iteration and exits.
+
+use crate::pool::Scope;
+use crate::sources::{ResultSource, Scored, UnseenBound};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default bounded-queue depth per shard feed. Deep enough that a cheap
+/// producer stays ahead of an expensive consumer (the exact algorithms
+/// dominate per-result cost), shallow enough that early stop never leaves
+/// much speculative work behind.
+pub const DEFAULT_PREFETCH_DEPTH: usize = 32;
+
+struct FeedState<S: ResultSource> {
+    /// Results paired with the source's bound *after* pulling each one.
+    queue: VecDeque<(Scored<S::Item>, UnseenBound)>,
+    /// The source itself lives here between pump runs, so a re-spawned
+    /// pump (and a cancelling consumer) can reach it without any channel.
+    source: Option<S>,
+    /// Producer exhausted the source (or was cancelled): no more items.
+    closed: bool,
+    /// Consumer is gone; producer should drop the source and exit.
+    cancelled: bool,
+    /// Producer parked on a full queue; the consumer must re-spawn it.
+    parked: bool,
+}
+
+struct Feed<S: ResultSource> {
+    state: Mutex<FeedState<S>>,
+    /// Wakes a consumer blocked on an empty (but not closed) queue.
+    ready: Condvar,
+    depth: usize,
+}
+
+impl<S: ResultSource> Feed<S> {
+    /// The producer body. Runs on a pool worker; never blocks — it parks
+    /// (returns) on a full queue and exits on cancellation/exhaustion.
+    fn pump(self: &Arc<Self>) {
+        loop {
+            let mut state = self.state.lock().unwrap();
+            if state.cancelled {
+                state.source = None;
+                state.closed = true;
+                self.ready.notify_all();
+                return;
+            }
+            if state.queue.len() >= self.depth {
+                state.parked = true;
+                return;
+            }
+            let Some(mut source) = state.source.take() else {
+                state.closed = true;
+                self.ready.notify_all();
+                return;
+            };
+            // Pull outside the lock: the source's work is the whole point
+            // of parallelism, and keeping user code off the mutex means a
+            // source panic can never poison the feed.
+            drop(state);
+            let next = source.next_result();
+            let bound = source.unseen_bound();
+            let mut state = self.state.lock().unwrap();
+            match next {
+                Some(result) => {
+                    state.queue.push_back((result, bound));
+                    state.source = Some(source);
+                    self.ready.notify_all();
+                }
+                None => {
+                    state.closed = true;
+                    self.ready.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The consumer-side facade: a [`ResultSource`] whose emissions and bound
+/// trajectory are bit-identical to the wrapped source's, while the actual
+/// pulling happens ahead of time on the pool. Construct one per shard via
+/// [`PrefetchedSource::spawn`] inside a [`crate::pool::WorkerPool::scope`]
+/// and hand the batch to [`crate::merge::MergedSource`] as usual.
+///
+/// Dropping the facade cancels its producer, so early stop (the
+/// framework's whole purpose) wastes at most one in-flight pull plus the
+/// queue depth of speculative results per shard.
+pub struct PrefetchedSource<'scope, 'env, S: ResultSource> {
+    feed: Arc<Feed<S>>,
+    scope: &'scope Scope<'scope, 'env>,
+    bound: UnseenBound,
+}
+
+impl<'scope, 'env, S> PrefetchedSource<'scope, 'env, S>
+where
+    S: ResultSource + Send + 'scope,
+    S::Item: Send,
+{
+    /// Captures the source's current (pre-pull) bound, moves the source
+    /// to a pump task on the scope's pool, and returns the facade.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` (the producer could never hand anything
+    /// over).
+    pub fn spawn(
+        scope: &'scope Scope<'scope, 'env>,
+        source: S,
+        depth: usize,
+    ) -> PrefetchedSource<'scope, 'env, S> {
+        assert!(depth >= 1, "prefetch depth must be at least 1");
+        let bound = source.unseen_bound();
+        let feed = Arc::new(Feed {
+            state: Mutex::new(FeedState {
+                queue: VecDeque::with_capacity(depth),
+                source: Some(source),
+                closed: false,
+                cancelled: false,
+                parked: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        });
+        let producer = Arc::clone(&feed);
+        scope.spawn(move || producer.pump());
+        PrefetchedSource { feed, scope, bound }
+    }
+}
+
+impl<'scope, S> ResultSource for PrefetchedSource<'scope, '_, S>
+where
+    S: ResultSource + Send + 'scope,
+    S::Item: Send,
+{
+    type Item = S::Item;
+
+    fn next_result(&mut self) -> Option<Scored<S::Item>> {
+        let mut state = self.feed.state.lock().unwrap();
+        loop {
+            if let Some((result, bound)) = state.queue.pop_front() {
+                // The pop made room; a parked producer can run again.
+                if state.parked {
+                    state.parked = false;
+                    let producer = Arc::clone(&self.feed);
+                    self.scope.spawn(move || producer.pump());
+                }
+                drop(state);
+                self.bound = bound;
+                return Some(result);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.feed.ready.wait(state).unwrap();
+        }
+    }
+
+    fn unseen_bound(&self) -> UnseenBound {
+        self.bound
+    }
+}
+
+impl<S: ResultSource> Drop for PrefetchedSource<'_, '_, S> {
+    fn drop(&mut self) {
+        let mut state = self.feed.state.lock().unwrap();
+        state.cancelled = true;
+        if state.parked {
+            // No task is in flight for a parked feed — finalize inline.
+            state.parked = false;
+            state.source = None;
+            state.closed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+    use crate::score::Score;
+    use crate::sources::{BoundingVecSource, IncrementalVecSource};
+
+    fn descending(n: usize) -> Vec<Scored<usize>> {
+        (0..n)
+            .map(|i| Scored::new(i, Score::new((n - i) as f64)))
+            .collect()
+    }
+
+    /// Drains `source`, recording every (item, bound-before, bound-after)
+    /// observation a merge could make.
+    fn observe<S: ResultSource>(mut source: S) -> Vec<(Scored<S::Item>, UnseenBound, UnseenBound)> {
+        let mut log = Vec::new();
+        loop {
+            let before = source.unseen_bound();
+            let Some(result) = source.next_result() else {
+                return log;
+            };
+            let after = source.unseen_bound();
+            log.push((result, before, after));
+        }
+    }
+
+    #[test]
+    fn prefetched_incremental_source_is_observably_identical() {
+        let pool = WorkerPool::new(2);
+        for n in [0usize, 1, 5, 100] {
+            let want = observe(IncrementalVecSource::new(descending(n)));
+            let got = pool.scope(|scope| {
+                observe(PrefetchedSource::spawn(
+                    scope,
+                    IncrementalVecSource::new(descending(n)),
+                    4,
+                ))
+            });
+            assert_eq!(want, got, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn prefetched_bounding_source_replays_the_bound_trajectory() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<Scored<usize>> = [3.0, 9.0, 1.0, 7.0, 5.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Scored::new(i, Score::new(s)))
+            .collect();
+        let want = observe(BoundingVecSource::new(items.clone()));
+        let got = pool.scope(|scope| {
+            observe(PrefetchedSource::spawn(
+                scope,
+                BoundingVecSource::new(items),
+                2,
+            ))
+        });
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn early_drop_cancels_the_producer_without_hanging_the_scope() {
+        let pool = WorkerPool::new(1);
+        // Depth 1 on a long stream: the producer parks repeatedly; the
+        // consumer stops after two pulls and drops.
+        pool.scope(|scope| {
+            let mut source =
+                PrefetchedSource::spawn(scope, IncrementalVecSource::new(descending(10_000)), 1);
+            assert!(source.next_result().is_some());
+            assert!(source.next_result().is_some());
+        });
+        // Reaching here at all is the assertion: the scope joined.
+    }
+
+    #[test]
+    fn many_sources_on_a_tiny_pool_all_complete() {
+        // More shards than workers: parking (not blocking) is what makes
+        // this terminate — a blocking producer would wedge the pool.
+        let pool = WorkerPool::new(1);
+        let totals: Vec<usize> = pool.scope(|scope| {
+            let sources: Vec<_> = (0..8)
+                .map(|_| {
+                    PrefetchedSource::spawn(scope, IncrementalVecSource::new(descending(50)), 2)
+                })
+                .collect();
+            sources.into_iter().map(|s| observe(s).len()).collect()
+        });
+        assert_eq!(totals, vec![50; 8]);
+    }
+}

@@ -39,7 +39,7 @@
 //! convoys the rest of the batch behind it.
 
 use crate::cache::{CacheStats, LruCache};
-use divtopk_core::SearchError;
+use divtopk_core::{SearchError, WorkerPool};
 use divtopk_text::corpus::Corpus;
 use divtopk_text::document::{DocId, Document, TermId};
 use divtopk_text::persist::{self, SnapshotError};
@@ -64,6 +64,15 @@ pub struct EngineConfig {
     /// Worker threads for [`Engine::search_batch`]; 0 means "one per
     /// available CPU" (`std::thread::available_parallelism`).
     pub threads: usize,
+    /// Worker threads for the parallel-pull pool that pumps per-segment
+    /// sources concurrently inside one query
+    /// ([`divtopk_core::prefetch`]). `None` (the default) auto-sizes: a
+    /// pool of `min(available_parallelism, 8)` threads on a multi-core
+    /// host, disabled on a single core (where pumping threads could only
+    /// add context switches). `Some(0)` forces the sequential pull path;
+    /// `Some(n)` forces a pool of `n`. Either way the *answers* are
+    /// byte-identical — this knob only moves where the pulls run.
+    pub pull_workers: Option<usize>,
 }
 
 impl EngineConfig {
@@ -74,6 +83,7 @@ impl EngineConfig {
             shards,
             cache_capacity: 4096,
             threads: 0,
+            pull_workers: None,
         }
     }
 
@@ -86,6 +96,13 @@ impl EngineConfig {
     /// Overrides the batch worker-thread count (0 = auto).
     pub fn with_threads(mut self, threads: usize) -> EngineConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the parallel-pull pool size (0 = sequential pulls; see
+    /// [`EngineConfig::pull_workers`]).
+    pub fn with_pull_workers(mut self, workers: usize) -> EngineConfig {
+        self.pull_workers = Some(workers);
         self
     }
 }
@@ -191,6 +208,11 @@ pub struct EngineStats {
     pub tombstones: usize,
     /// Compaction merges performed over the engine's lifetime.
     pub compactions: u64,
+    /// Queries whose per-segment pulls ran concurrently on the
+    /// parallel-pull pool (multi-segment snapshots with a pool
+    /// configured; single-segment queries take the sequential path —
+    /// there is nothing to overlap).
+    pub parallel_pulls: u64,
 }
 
 /// One immutable serving epoch: a generation number and the segmented
@@ -217,9 +239,13 @@ pub struct Engine {
     /// Signalled whenever an in-flight computation finishes.
     inflight_done: Condvar,
     threads: usize,
+    /// The parallel-pull pool ([`divtopk_core::WorkerPool`]); `None`
+    /// means per-segment pulls run sequentially on the query thread.
+    pool: Option<WorkerPool>,
     queries: AtomicU64,
     rejected: AtomicU64,
     batches: AtomicU64,
+    parallel_pulls: AtomicU64,
 }
 
 impl Engine {
@@ -245,6 +271,16 @@ impl Engine {
         } else {
             config.threads
         };
+        let pull_workers = config.pull_workers.unwrap_or_else(|| {
+            // Auto: parallel pulls buy nothing on a single core (the
+            // pumps would just time-slice against the merge), so the
+            // pool only spins up when there is real parallelism.
+            match std::thread::available_parallelism().map_or(1, |n| n.get()) {
+                1 => 0,
+                cores => cores.min(8),
+            }
+        });
+        let pool = (pull_workers > 0).then(|| WorkerPool::new(pull_workers));
         Engine {
             snapshot: RwLock::new(Arc::new(Snapshot { generation, index })),
             writer: Mutex::new(()),
@@ -253,9 +289,11 @@ impl Engine {
             inflight: Mutex::new(HashSet::new()),
             inflight_done: Condvar::new(),
             threads,
+            pool,
             queries: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            parallel_pulls: AtomicU64::new(0),
         }
     }
 
@@ -281,6 +319,11 @@ impl Engine {
     /// Worker threads used by [`Engine::search_batch`].
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Parallel-pull pool size (0 = sequential pulls).
+    pub fn pull_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::threads)
     }
 
     /// Installs a mutated index as the next generation. Callers must hold
@@ -389,6 +432,25 @@ impl Engine {
         Ok(Engine::from_state(index, generation, config))
     }
 
+    /// Swaps the serving state to the snapshot at `path` **without
+    /// restarting the engine** — the serving tier's graceful reload.
+    /// In-flight queries finish on their pinned epoch; queries admitted
+    /// after the swap see the loaded state. Returns the new generation.
+    ///
+    /// The published generation is `max(loaded, current + 1)`: strictly
+    /// greater than every generation this engine has ever served, so no
+    /// pre-reload cache entry (keyed on generation) can ever answer a
+    /// post-reload query, even when the snapshot on disk carries an older
+    /// counter than the live engine. A corrupt or unreadable snapshot is
+    /// a typed [`SnapshotError`] and leaves the serving state untouched.
+    pub fn reload_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let _writer = self.writer.lock().unwrap();
+        let (index, loaded) = persist::load_segmented(path)?;
+        let generation = loaded.max(self.pin().generation + 1);
+        self.install(generation, index);
+        Ok(generation)
+    }
+
     /// Diagnostic: verifies the current snapshot's rebuild-equivalence
     /// invariant directly on the data (see
     /// [`SegmentedIndex::verify_rebuild_equivalence`]). The `live_update`
@@ -428,7 +490,7 @@ impl Engine {
         if self.cache_capacity == 0 {
             // Caching disabled: no store to single-flight against (and no
             // point paying for key normalization on the uncached path).
-            return Engine::execute(&snap, query, options);
+            return self.execute(&snap, query, options);
         }
         let key = CacheKey::new(query, options, snap.generation);
         loop {
@@ -476,7 +538,7 @@ impl Engine {
         };
         // Compute outside every lock: a slow query must serialize neither
         // the serving tier (cache mutex) nor unrelated misses (inflight).
-        let result = Engine::execute(&snap, query, options);
+        let result = self.execute(&snap, query, options);
         if let Ok(out) = &result {
             self.cache.lock().unwrap().insert(key.clone(), out.clone());
         }
@@ -550,14 +612,29 @@ impl Engine {
             segments: snap.index.num_segments(),
             tombstones: snap.index.tombstones(),
             compactions: snap.index.compactions(),
+            parallel_pulls: self.parallel_pulls.load(Ordering::Relaxed),
         }
     }
 
     fn execute(
+        &self,
         snap: &Snapshot,
         query: &Query,
         options: &SearchOptions,
     ) -> Result<SearchOutput, SearchError> {
+        // The pooled and sequential paths return byte-identical outputs
+        // (tests/parallel_merge.rs pins this), so routing is purely a
+        // performance decision: overlap per-segment pulls when there are
+        // segments to overlap and a pool to run them on.
+        if let Some(pool) = &self.pool {
+            if snap.index.num_segments() > 1 {
+                self.parallel_pulls.fetch_add(1, Ordering::Relaxed);
+                return match query {
+                    Query::Scan(term) => snap.index.search_scan_pooled(*term, options, pool),
+                    Query::Keywords(q) => snap.index.search_ta_pooled(q, options, pool),
+                };
+            }
+        }
         match query {
             Query::Scan(term) => snap.index.search_scan(*term, options),
             Query::Keywords(q) => snap.index.search_ta(q, options),

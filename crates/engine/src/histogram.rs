@@ -1,0 +1,174 @@
+//! Lock-free log-linear latency histograms for the serving tier's stats
+//! endpoint (p50/p95/p99 without storing samples).
+//!
+//! The bucket layout is the usual HDR-style compromise: below
+//! [`LatencyHistogram::LINEAR_MAX_NS`] every nanosecond value maps to one
+//! shared "tiny" bucket (sub-microsecond latencies are noise for a
+//! serving stack); above it, each power-of-two octave is split into
+//! [`LatencyHistogram::SUB_BUCKETS`] linear sub-buckets, giving a
+//! guaranteed relative quantile error ≤ 1/SUB_BUCKETS (12.5%) across the
+//! whole range up to ~69 s, in a few hundred fixed `AtomicU64`s. Records
+//! are a single relaxed `fetch_add`; quantile reads are a scan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size concurrent histogram of nanosecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Values at or below this (ns) share bucket 0. 1 µs.
+    pub const LINEAR_MAX_NS: u64 = 1 << 10;
+    /// Linear sub-buckets per power-of-two octave: relative error ≤ 1/8.
+    pub const SUB_BUCKETS: u64 = 8;
+    /// Largest distinguishable value (~69 s); everything above clamps.
+    pub const MAX_NS: u64 = 1 << 36;
+
+    const OCTAVES: u64 = 36 - 10;
+    const NUM_BUCKETS: usize = (1 + Self::OCTAVES * Self::SUB_BUCKETS) as usize;
+
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..Self::NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        if ns <= Self::LINEAR_MAX_NS {
+            return 0;
+        }
+        let ns = ns.min(Self::MAX_NS);
+        // Octave o covers (2^(10+o), 2^(11+o)]; within it, 8 linear
+        // steps. Classify by ns-1 so the octave's closed upper endpoint
+        // lands inside it (ns ≥ LINEAR_MAX_NS + 1 here, so ns-1 ≥ 2^10).
+        let octave = (63 - (ns - 1).leading_zeros() as u64) - 10;
+        let base = 1u64 << (10 + octave);
+        let step = base / Self::SUB_BUCKETS; // base is ≥ 2^10, divisible
+        let sub = ((ns - base - 1) / step).min(Self::SUB_BUCKETS - 1);
+        (1 + octave * Self::SUB_BUCKETS + sub) as usize
+    }
+
+    /// Upper edge (ns) of the bucket — what quantiles report.
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            return Self::LINEAR_MAX_NS;
+        }
+        let i = index as u64 - 1;
+        let (octave, sub) = (i / Self::SUB_BUCKETS, i % Self::SUB_BUCKETS);
+        let base = 1u64 << (10 + octave);
+        base + (base / Self::SUB_BUCKETS) * (sub + 1)
+    }
+
+    /// Records one latency. Wait-free; safe from any thread.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// The latency (ns, bucket upper edge — a guaranteed overestimate by
+    /// at most 12.5%) at quantile `q ∈ [0, 1]`. Returns 0 when empty.
+    ///
+    /// Concurrent `record`s may land mid-scan; the answer is then correct
+    /// for *some* interleaving of them, which is all a monitoring
+    /// endpoint can ask of a lock-free histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let mut counts = vec![0u64; Self::NUM_BUCKETS];
+        let mut total = 0u64;
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+            total += *slot;
+        }
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(index);
+            }
+        }
+        Self::MAX_NS
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_self_consistent() {
+        let mut last = 0usize;
+        for ns in (0..64u64).chain((10..36).flat_map(|o| {
+            let base = 1u64 << o;
+            [base, base + 1, base + base / 2, base * 2 - 1]
+        })) {
+            let index = LatencyHistogram::bucket_index(ns);
+            assert!(index >= last || ns <= LatencyHistogram::LINEAR_MAX_NS);
+            last = last.max(index);
+            // The bucket's upper edge must not undercut the value by
+            // more than the promised relative error.
+            let upper = LatencyHistogram::bucket_upper(index);
+            assert!(upper >= ns.min(LatencyHistogram::MAX_NS), "ns {ns}");
+            if ns > LatencyHistogram::LINEAR_MAX_NS {
+                assert!((upper as f64) <= ns as f64 * 1.25, "ns {ns} upper {upper}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 1000 samples spread uniformly over [1 ms, 2 ms).
+        for i in 0..1000u64 {
+            h.record(1_000_000 + i * 1_000);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_ns(0.50) as f64;
+        let p99 = h.quantile_ns(0.99) as f64;
+        assert!((1.4e6..=1.8e6).contains(&p50), "p50 {p50}");
+        assert!((1.9e6..=2.4e6).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+        let mean = h.mean_ns() as f64;
+        assert!((1.4e6..=1.6e6).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn empty_and_extreme_values_are_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0);
+        h.record(0);
+        h.record(u64::MAX); // clamps, no panic
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ns(1.0) >= LatencyHistogram::MAX_NS);
+    }
+}

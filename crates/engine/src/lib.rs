@@ -58,12 +58,18 @@
 
 pub mod cache;
 pub mod engine;
+pub mod histogram;
+pub mod proto;
+pub mod server;
 pub mod shard;
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::cache::{CacheStats, LruCache};
     pub use crate::engine::{Engine, EngineConfig, EngineStats, Query};
+    pub use crate::histogram::LatencyHistogram;
+    pub use crate::proto::{ProtoError, Request, Response, StatsReport, WireHits};
+    pub use crate::server::{Server, ServerConfig, ServerMetrics};
     pub use crate::shard::ShardedCorpus;
     pub use divtopk_text::persist::SnapshotError;
     pub use divtopk_text::segments::SegmentedIndex;

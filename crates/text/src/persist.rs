@@ -716,8 +716,8 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
     Ok(result?)
 }
 
-/// Writes a [`Corpus`] snapshot to `path` (atomically — see
-/// [`write_atomic`]). Returns the bytes written.
+/// Writes a [`Corpus`] snapshot to `path` (atomically — sibling temp
+/// file + fsync + rename). Returns the bytes written.
 pub fn save_corpus(path: impl AsRef<Path>, c: &Corpus) -> Result<u64, SnapshotError> {
     let bytes = corpus_to_bytes(c);
     write_atomic(path.as_ref(), &bytes)?;

@@ -50,7 +50,8 @@ use crate::search::{SearchOptions, SearchOutput, doc_weights, search_with_source
 use crate::stopwords::is_stopword;
 use crate::ta::TaSource;
 use crate::tokenize::tokenize;
-use divtopk_core::{MergedSource, SearchError};
+use divtopk_core::prefetch::{DEFAULT_PREFETCH_DEPTH, PrefetchedSource};
+use divtopk_core::{MergedSource, SearchError, WorkerPool};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -502,6 +503,61 @@ impl SegmentedIndex {
             !deleted.contains(*d)
         });
         search_with_source(&self.corpus, &self.weights, merged, options)
+    }
+
+    /// [`SegmentedIndex::search_scan`] with the per-segment pulls pumped
+    /// concurrently on `pool` (one prefetching producer per segment — see
+    /// [`divtopk_core::prefetch`]). **Byte-identical** to the sequential
+    /// path: the prefetch facade replays each scan's emission order *and*
+    /// bound trajectory exactly, so the merge, the framework run, the
+    /// metrics, and the early-stop point are all bit-for-bit those of
+    /// [`SegmentedIndex::search_scan`] (`tests/parallel_merge.rs`).
+    pub fn search_scan_pooled(
+        &self,
+        term: TermId,
+        options: &SearchOptions,
+        pool: &WorkerPool,
+    ) -> Result<SearchOutput, SearchError> {
+        options.validate()?;
+        self.validate_terms(&[term])?;
+        let deleted = &self.deleted;
+        pool.scope(|scope| {
+            let prefetched: Vec<_> = self
+                .scan_sources(term)
+                .into_iter()
+                .map(|s| PrefetchedSource::spawn(scope, s, DEFAULT_PREFETCH_DEPTH))
+                .collect();
+            let merged =
+                MergedSource::incremental_filtered(prefetched, |d: &DocId| !deleted.contains(*d));
+            search_with_source(&self.corpus, &self.weights, merged, options)
+        })
+    }
+
+    /// [`SegmentedIndex::search_ta`] with the per-segment threshold
+    /// algorithms pumped concurrently on `pool`. Byte-identical to the
+    /// sequential path for the same reason as
+    /// [`SegmentedIndex::search_scan_pooled`] — the facades replay each
+    /// TA's emissions and bounds in lockstep, so the bounding merge sees
+    /// the exact sequential observation sequence.
+    pub fn search_ta_pooled(
+        &self,
+        query: &KeywordQuery,
+        options: &SearchOptions,
+        pool: &WorkerPool,
+    ) -> Result<SearchOutput, SearchError> {
+        options.validate()?;
+        self.validate_terms(&query.terms)?;
+        let deleted = &self.deleted;
+        pool.scope(|scope| {
+            let prefetched: Vec<_> = self
+                .ta_sources(query)
+                .into_iter()
+                .map(|s| PrefetchedSource::spawn(scope, s, DEFAULT_PREFETCH_DEPTH))
+                .collect();
+            let merged =
+                MergedSource::bounding_filtered(prefetched, |d: &DocId| !deleted.contains(*d));
+            search_with_source(&self.corpus, &self.weights, merged, options)
+        })
     }
 
     /// The rebuild oracle: a from-scratch [`InvertedIndex`] over exactly

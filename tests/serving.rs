@@ -1,0 +1,505 @@
+//! End-to-end tests for the serving binary path: the TCP server under
+//! concurrent clients with a live writer (satellite: stress), and the
+//! wire protocol under hostile bytes (satellite: robustness).
+//!
+//! * **Stress**: N client threads fire searches at a running server while
+//!   a writer thread adds and deletes documents. Every `Hits` response
+//!   must equal — content-for-content, score bits included — the answer
+//!   some single snapshot generation gives for that query (no torn reads,
+//!   no cross-generation mixing); overload draws the typed backpressure
+//!   rejection; every request gets *some* response (client read timeouts
+//!   turn a hang into a failure).
+//! * **Robustness**: truncations at every frame offset, oversized and
+//!   zero length prefixes, garbage tags, and mid-frame disconnects each
+//!   produce a typed error or a clean close — and the server keeps
+//!   serving afterwards. Mirrors PR 5's truncate-every-offset sweep one
+//!   layer up, at the frame boundary.
+
+use divtopk::ExactAlgorithm;
+use divtopk::core::rng::Pcg;
+use divtopk::engine::prelude::*;
+use divtopk::engine::proto::{self, Request, Response};
+use divtopk::text::prelude::*;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Client-side guard: any server hang surfaces as a test failure, not a
+/// stuck suite.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(20);
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    stream.set_nodelay(true).ok();
+    stream
+}
+
+fn roundtrip(stream: &mut TcpStream, request: &Request) -> Response {
+    proto::write_frame(stream, &proto::encode_request(request).unwrap()).expect("send");
+    let frame = proto::read_frame(stream)
+        .expect("recv")
+        .expect("server closed unexpectedly");
+    proto::decode_response(&frame).expect("decode")
+}
+
+/// Terms with mid-sized posting lists in the base corpus.
+fn interesting_terms(corpus: &Corpus, count: usize) -> Vec<TermId> {
+    let index = InvertedIndex::build(corpus);
+    let mut terms: Vec<TermId> = (0..corpus.num_terms() as TermId)
+        .filter(|&t| (6..=60).contains(&index.postings(t).len()))
+        .collect();
+    terms.sort_by_key(|&t| std::cmp::Reverse(index.postings(t).len()));
+    terms.truncate(count);
+    terms
+}
+
+// ------------------------------------------------------------------ stress
+
+/// The comparable content of a served answer: doc ids with score bits,
+/// plus the total-score bits — bit-exact equality, no float tolerance.
+type AnswerKey = (Vec<(u32, u64)>, u64);
+
+fn key_of_output(out: &SearchOutput) -> AnswerKey {
+    (
+        out.hits
+            .iter()
+            .map(|h| (h.doc, h.score.get().to_bits()))
+            .collect(),
+        out.total_score.get().to_bits(),
+    )
+}
+
+fn key_of_wire(hits: &divtopk::engine::proto::WireHits) -> AnswerKey {
+    (
+        hits.hits
+            .iter()
+            .map(|&(doc, score)| (doc, score.to_bits()))
+            .collect(),
+        hits.total_score.to_bits(),
+    )
+}
+
+/// The scripted mutation log the writer replays: deterministic, so a twin
+/// engine can precompute every generation's reference answers.
+struct MutationScript {
+    batches: Vec<(Vec<Document>, Vec<DocId>)>,
+}
+
+fn build_script(base_docs: usize, donor: &Corpus, rounds: usize) -> MutationScript {
+    let mut rng = Pcg::new(0x57726974);
+    let mut next = base_docs as DocId;
+    let batches = (0..rounds)
+        .map(|_| {
+            let adds: Vec<Document> = (next..next + 6).map(|d| donor.doc(d).clone()).collect();
+            next += 6;
+            let dels: Vec<DocId> = (0..3).map(|_| rng.below(next)).collect();
+            (adds, dels)
+        })
+        .collect();
+    MutationScript { batches }
+}
+
+#[test]
+fn concurrent_clients_with_live_writer_see_single_generation_answers() {
+    let base_docs = 220usize;
+    let rounds = 4usize;
+    let donor = generate(
+        &SynthConfig {
+            near_dup_prob: 0.35,
+            ..SynthConfig::tiny().with_seed(71)
+        }
+        .with_num_docs(base_docs + rounds * 6),
+    );
+    let mut builder = CorpusBuilder::with_synthetic_vocab(donor.num_terms());
+    for d in 0..base_docs as DocId {
+        builder.add_document(donor.doc(d).clone());
+    }
+    let base = builder.build();
+    let terms = interesting_terms(&base, 3);
+    assert!(terms.len() >= 2, "base corpus has too few usable terms");
+    let script = build_script(base_docs, &donor, rounds);
+
+    // The wire query set and the exact options the server will build.
+    let (k, tau, bound_decay) = (5u32, 0.5f64, 0.005f64);
+    let options = SearchOptions::new(k as usize)
+        .with_tau(tau)
+        .with_bound_decay(bound_decay)
+        .with_algorithm(ExactAlgorithm::Cut);
+    let queries: Vec<Query> = terms
+        .iter()
+        .map(|&t| Query::Scan(t))
+        .chain([Query::Keywords(KeywordQuery {
+            terms: vec![terms[0], terms[1]],
+        })])
+        .collect();
+
+    // Twin engine: replay the script generation by generation, recording
+    // each query's reference answer at every snapshot the server can
+    // possibly serve (each add and each delete bumps the generation).
+    let config = EngineConfig::new(2).with_cache_capacity(0);
+    let reference = Engine::new(base.clone(), config.clone());
+    let mut by_generation: Vec<HashMap<usize, AnswerKey>> = Vec::new();
+    let mut record = |engine: &Engine| {
+        let answers = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i, key_of_output(&engine.search(q, &options).unwrap())))
+            .collect();
+        by_generation.push(answers);
+    };
+    record(&reference);
+    for (adds, dels) in &script.batches {
+        reference.add_docs(adds.clone());
+        record(&reference);
+        reference.delete_docs(dels);
+        record(&reference);
+    }
+    assert_eq!(by_generation.len(), 1 + 2 * rounds);
+
+    // The live side: same base, same config, real TCP server.
+    let engine = Arc::new(Engine::new(base, config));
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 32,
+        },
+    )
+    .expect("server start");
+    let addr = server.addr().to_string();
+
+    let unmatched = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..4u64)
+        .map(|c| {
+            let addr = addr.clone();
+            let queries = queries.clone();
+            let by_generation = by_generation.clone();
+            let unmatched = Arc::clone(&unmatched);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let mut stream = connect(&addr);
+                for round in 0..30u64 {
+                    let which = ((c + round) % queries.len() as u64) as usize;
+                    let request = Request::Search {
+                        query: queries[which].clone(),
+                        k,
+                        tau,
+                        bound_decay,
+                        algorithm: 2,
+                    };
+                    match roundtrip(&mut stream, &request) {
+                        Response::Hits(hits) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            let got = key_of_wire(&hits);
+                            // The answer must be exactly some single
+                            // generation's answer — never a mix.
+                            if !by_generation.iter().any(|g| g[&which] == got) {
+                                unmatched.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Response::Overloaded { .. } => {} // typed, legal
+                        other => panic!("client {c}: unexpected {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The writer races the clients through the same scripted mutations.
+    let writer = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            for (adds, dels) in script.batches {
+                std::thread::sleep(Duration::from_millis(5));
+                engine.add_docs(adds);
+                std::thread::sleep(Duration::from_millis(5));
+                engine.delete_docs(&dels);
+            }
+        })
+    };
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    writer.join().expect("writer thread");
+    assert_eq!(
+        unmatched.load(Ordering::Relaxed),
+        0,
+        "a response matched no single generation's reference answer"
+    );
+    assert!(served.load(Ordering::Relaxed) > 0, "nothing was served");
+    // The server ended on the final generation: a fresh query now matches
+    // the final reference exactly.
+    let mut stream = connect(&addr);
+    match roundtrip(
+        &mut stream,
+        &Request::Search {
+            query: queries[0].clone(),
+            k,
+            tau,
+            bound_decay,
+            algorithm: 2,
+        },
+    ) {
+        Response::Hits(hits) => {
+            assert_eq!(
+                key_of_wire(&hits),
+                by_generation.last().unwrap()[&0],
+                "final answer diverged from the final generation"
+            );
+        }
+        other => panic!("final query: unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn overload_draws_typed_backpressure_and_never_hangs() {
+    let corpus = generate(
+        &SynthConfig {
+            near_dup_prob: 0.5, // dense similarity: searches do real work
+            ..SynthConfig::tiny().with_seed(81)
+        }
+        .with_num_docs(400),
+    );
+    let terms = interesting_terms(&corpus, 1);
+    let engine = Engine::new(
+        corpus,
+        EngineConfig::new(2).with_cache_capacity(0), // every request searches
+    );
+    let server = Server::start(
+        Arc::new(engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1, // concurrency hard cap = 2
+        },
+    )
+    .expect("server start");
+    let addr = server.addr().to_string();
+
+    // 16 clients release one search each at the same instant: at most 2
+    // can be in flight, so the first wave must reject most of them.
+    let barrier = Arc::new(std::sync::Barrier::new(16));
+    let hits = Arc::new(AtomicU64::new(0));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..16)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let hits = Arc::clone(&hits);
+            let overloaded = Arc::clone(&overloaded);
+            let term = terms[0];
+            std::thread::spawn(move || {
+                let mut stream = connect(&addr);
+                let request = Request::Search {
+                    query: Query::Scan(term),
+                    k: 8,
+                    tau: 0.3,
+                    bound_decay: 0.005,
+                    algorithm: 2,
+                };
+                barrier.wait();
+                match roundtrip(&mut stream, &request) {
+                    Response::Hits(_) => hits.fetch_add(1, Ordering::Relaxed),
+                    Response::Overloaded { queue_capacity } => {
+                        assert_eq!(queue_capacity, 1);
+                        overloaded.fetch_add(1, Ordering::Relaxed)
+                    }
+                    other => panic!("unexpected {other:?}"),
+                };
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread"); // a hang trips the timeout
+    }
+    let (hits, overloaded) = (
+        hits.load(Ordering::Relaxed),
+        overloaded.load(Ordering::Relaxed),
+    );
+    assert_eq!(hits + overloaded, 16, "every request drew a response");
+    assert!(hits >= 1, "nothing was served under burst");
+    assert!(
+        overloaded >= 1,
+        "burst of 16 into capacity 2 never rejected"
+    );
+    // Backpressure is load shedding, not failure: the next request works,
+    // and stats stayed reachable under pressure (served inline).
+    let mut stream = connect(&addr);
+    match roundtrip(&mut stream, &Request::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.overloaded, overloaded);
+            assert_eq!(stats.search_count, hits);
+        }
+        other => panic!("stats: unexpected {other:?}"),
+    }
+    match roundtrip(
+        &mut stream,
+        &Request::Search {
+            query: Query::Scan(terms[0]),
+            k: 3,
+            tau: 0.5,
+            bound_decay: 0.005,
+            algorithm: 2,
+        },
+    ) {
+        Response::Hits(_) => {}
+        other => panic!("post-overload query: unexpected {other:?}"),
+    }
+}
+
+// -------------------------------------------------------------- robustness
+
+fn tiny_server() -> (Server, String) {
+    let corpus = generate(&SynthConfig::tiny().with_seed(91).with_num_docs(120));
+    let server = Server::start(
+        Arc::new(Engine::new(corpus, EngineConfig::new(2))),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("server start");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn assert_ping_works(addr: &str) {
+    let mut stream = connect(addr);
+    assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
+}
+
+/// A typed protocol error, or a clean close — never a hang, never junk.
+fn read_error_or_close(stream: &mut TcpStream) {
+    match proto::read_frame(stream) {
+        Ok(Some(frame)) => match proto::decode_response(&frame).expect("decode") {
+            Response::Error {
+                code: proto::ErrorCode::Protocol,
+                ..
+            } => {}
+            other => panic!("expected a protocol error, got {other:?}"),
+        },
+        Ok(None) => {}                      // clean close
+        Err(proto::ProtoError::Io(_)) => {} // reset mid-report
+        Err(e) => panic!("client-side decode failure: {e}"),
+    }
+}
+
+#[test]
+fn truncation_at_every_frame_offset_leaves_the_server_serving() {
+    let (_server, addr) = tiny_server();
+    // A representative full frame: header + search payload.
+    let payload = proto::encode_request(&Request::Search {
+        query: Query::Keywords(KeywordQuery {
+            terms: vec![3, 1, 4],
+        }),
+        k: 5,
+        tau: 0.5,
+        bound_decay: 0.005,
+        algorithm: 2,
+    })
+    .unwrap();
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    // Every proper prefix is a mid-frame disconnect (offset 0 is simply a
+    // clean open-then-close).
+    for cut in 0..frame.len() {
+        let mut stream = connect(&addr);
+        stream.write_all(&frame[..cut]).expect("partial write");
+        stream.shutdown(std::net::Shutdown::Write).ok();
+        if cut == 0 {
+            assert!(
+                proto::read_frame(&mut stream)
+                    .expect("clean close")
+                    .is_none(),
+                "offset 0 must be a clean close"
+            );
+        } else if cut < 4 || cut < frame.len() {
+            read_error_or_close(&mut stream);
+        }
+    }
+    // The sweep must not have taken the server down.
+    assert_ping_works(&addr);
+    let mut stream = connect(&addr);
+    match roundtrip(&mut stream, &Request::Stats) {
+        Response::Stats(stats) => assert!(
+            stats.protocol_errors as usize >= frame.len() - 1,
+            "every truncation should count as a protocol error"
+        ),
+        other => panic!("stats: unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_and_zero_length_prefixes_are_rejected_before_allocation() {
+    let (_server, addr) = tiny_server();
+    // A hostile 4 GiB length prefix: typed rejection (checked before the
+    // payload buffer is sized — the unit suite proves no allocation), and
+    // the connection closes because framing is unrecoverable.
+    let mut stream = connect(&addr);
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    read_error_or_close(&mut stream);
+    // A zero-length frame: same contract.
+    let mut stream = connect(&addr);
+    stream.write_all(&0u32.to_le_bytes()).unwrap();
+    read_error_or_close(&mut stream);
+    assert_ping_works(&addr);
+}
+
+#[test]
+fn garbage_payloads_get_typed_errors_and_the_connection_keeps_serving() {
+    let (_server, addr) = tiny_server();
+    let mut stream = connect(&addr);
+    // A well-framed frame full of garbage: unknown tag → typed error, and
+    // because the frame boundary held, the *same connection* keeps going.
+    proto::write_frame(&mut stream, &[0x7F, 0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+    let frame = proto::read_frame(&mut stream).expect("recv").expect("open");
+    match proto::decode_response(&frame).expect("decode") {
+        Response::Error {
+            code: proto::ErrorCode::Protocol,
+            ..
+        } => {}
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // Still the same stream:
+    assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
+    // A structurally broken search (truncated payload inside a valid
+    // frame): typed error, connection still usable.
+    proto::write_frame(&mut stream, &[0x02, 0x00]).unwrap();
+    match proto::decode_response(&proto::read_frame(&mut stream).unwrap().unwrap()).unwrap() {
+        Response::Error {
+            code: proto::ErrorCode::Protocol,
+            ..
+        } => {}
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
+    assert_ping_works(&addr);
+}
+
+#[test]
+fn unknown_algorithm_selector_is_a_typed_error_not_a_crash() {
+    let (_server, addr) = tiny_server();
+    let mut stream = connect(&addr);
+    match roundtrip(
+        &mut stream,
+        &Request::Search {
+            query: Query::Scan(0),
+            k: 3,
+            tau: 0.5,
+            bound_decay: 0.005,
+            algorithm: 99,
+        },
+    ) {
+        Response::Error {
+            code: proto::ErrorCode::Protocol,
+            ..
+        } => {}
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
+}
