@@ -53,6 +53,8 @@
 //! suite produced cells and every expected summary key is present and
 //! finite (the CI gate).
 
+use divtopk_bench::quality::evaluate;
+use divtopk_bench::workload::QueryPack;
 use divtopk_bench::{Measurement, PeakAlloc, json, measure};
 use divtopk_core::astar::{AStarConfig, KernelMode, div_astar_configured};
 use divtopk_core::prelude::*;
@@ -306,9 +308,15 @@ struct ThroughputReport {
 }
 
 /// The serving-engine batch-throughput suite (DESIGN.md §8): replays a
-/// fixed Zipf-repeating trace against the engine at several shard counts
-/// and against the naive per-query searcher baseline. Asserts — run by
-/// run, query by query — that sharded and unsharded optima agree.
+/// query-pack trace against the engine at several shard counts and
+/// against the naive per-query searcher baseline. Asserts — run by run,
+/// query by query — that sharded and unsharded optima agree.
+///
+/// The trace is the default pack's `torso_mix` family (DESIGN.md §12)
+/// recompiled against this suite's corpus: Zipf-over-distinct draws with
+/// a realistic repeat rate. The old hand-rolled trace had 10 distinct
+/// queries in 96 — a ~90% cache-hit rate that flattered the engine's
+/// advantage over the uncached baseline.
 fn serving_throughput_suite(
     cells: &mut Vec<Cell>,
     smoke: bool,
@@ -317,9 +325,9 @@ fn serving_throughput_suite(
 ) -> Option<ThroughputReport> {
     let docs = if smoke { 400 } else { 4000 };
     let (n_distinct, n_total, k) = if smoke {
-        (5usize, 24usize, 6usize)
+        (8usize, 24usize, 6usize)
     } else {
-        (10, 96, 10)
+        (48, 96, 10)
     };
     let corpus = generate(&SynthConfig::reuters_like().with_num_docs(docs));
     let index = InvertedIndex::build(&corpus);
@@ -334,43 +342,42 @@ fn serving_throughput_suite(
         .with_limits(limits)
         .with_bound_decay(0.005);
 
-    // Distinct queries: alternating single-keyword scans and 2-keyword TA
-    // queries across the low kfreq bands.
-    let mut distinct: Vec<Query> = Vec::new();
-    let mut seed = QUERY_SEED;
-    while distinct.len() < n_distinct {
-        seed += 1;
-        let band = 1 + (seed % 3) as u8;
-        let terms = if distinct.len() % 2 == 0 { 1 } else { 2 };
-        let Some(q) = query_for_band(&corpus, band, terms, seed) else {
-            continue;
-        };
-        let query = if q.terms.len() == 1 {
-            Query::Scan(q.terms[0])
-        } else {
-            Query::Keywords(q)
-        };
-        if !distinct.contains(&query) {
-            distinct.push(query);
+    // The trace comes from the committed pack's torso_mix (hot queries,
+    // Zipf repeats) and tail_cold (long tail of one-offs) families,
+    // scaled to this suite's size, recompiled against this suite's
+    // corpus, and interleaved — the production shape: a few hot queries
+    // repeat over a stream of rarely repeated tail queries.
+    let mut pack = QueryPack::default_pack();
+    pack.families
+        .retain(|f| f.name == "torso_mix" || f.name == "tail_cold");
+    assert_eq!(pack.families.len(), 2, "default pack lost a trace family");
+    for family in &mut pack.families {
+        family.queries = n_total / 2;
+        family.distinct = n_distinct / 2;
+    }
+    let compiled = pack
+        .compile(&corpus, &index)
+        .expect("trace families compile against the suite corpus");
+    let hot: Vec<&Query> = compiled[0].queries().collect();
+    let cold: Vec<&Query> = compiled[1].queries().collect();
+    let mut queries: Vec<Query> = Vec::with_capacity(n_total);
+    for i in 0..hot.len().max(cold.len()) {
+        if let Some(q) = hot.get(i) {
+            queries.push((*q).clone());
         }
-        if seed > QUERY_SEED + 10_000 {
-            eprintln!("[serving_throughput] could not assemble {n_distinct} queries");
-            return None;
+        if let Some(q) = cold.get(i) {
+            queries.push((*q).clone());
         }
     }
-
-    // Zipf-repeating trace: rank r drawn with weight 1/(r+1).
-    let mut rng = divtopk_core::rng::Pcg::new(QUERY_SEED);
-    let cdf: Vec<f64> = distinct
+    let mut distinct: Vec<Query> = Vec::new();
+    for q in &queries {
+        if !distinct.contains(q) {
+            distinct.push(q.clone());
+        }
+    }
+    let trace: Vec<(Query, SearchOptions)> = queries
         .iter()
-        .enumerate()
-        .scan(0.0, |acc, (r, _)| {
-            *acc += 1.0 / (r + 1) as f64;
-            Some(*acc)
-        })
-        .collect();
-    let trace: Vec<(Query, SearchOptions)> = (0..n_total)
-        .map(|_| (distinct[rng.sample_cdf(&cdf)].clone(), options.clone()))
+        .map(|q| (q.clone(), options.clone()))
         .collect();
 
     // Reference answers once, from the unsharded searcher.
@@ -518,7 +525,7 @@ fn serving_throughput_suite(
         qps_baseline,
         qps_by_shards,
         cache_hit_rate_4_shards,
-        distinct_queries: n_distinct,
+        distinct_queries: distinct.len(),
         total_queries: n_total,
         threads,
     })
@@ -895,6 +902,7 @@ fn serving_latency_suite(cells: &mut Vec<Cell>, smoke: bool) -> Option<ServingLa
             ta_fraction: 0.25,
             k: k as u32,
             tau: 0.5,
+            shape: divtopk_bench::load::ArrivalShape::Uniform,
         };
         let baseline = divtopk_bench::reset_peak();
         let report = match run_open_loop(&spec) {
@@ -945,8 +953,95 @@ fn serving_latency_suite(cells: &mut Vec<Cell>, smoke: bool) -> Option<ServingLa
     })
 }
 
+struct QualityGateReport {
+    families: usize,
+    queries: usize,
+    worst_ndcg_delta: f64,
+    worst_mrr_delta: f64,
+    min_unique_sources_gain: f64,
+    min_dissimilarity_gain: f64,
+}
+
+/// The query-pack quality suite (DESIGN.md §12): replays the built-in
+/// default pack through the engine twice per query — diversity on vs.
+/// off — and records per-family diversity/relevance deltas as cells. The
+/// pack's own gates are *enforced*: a failed gate aborts the perfbase
+/// run, the same way the standalone `quality_gate` binary exits
+/// non-zero. Identical in smoke and full runs (the pack is tiny).
+fn quality_gate_suite(cells: &mut Vec<Cell>) -> Option<QualityGateReport> {
+    let pack = QueryPack::default_pack();
+    eprintln!(
+        "[quality_gate] pack {:?} ({} families)",
+        pack.name,
+        pack.families.len()
+    );
+    let report = match evaluate(&pack) {
+        Ok(report) => report,
+        Err(why) => {
+            eprintln!("[quality_gate] evaluation failed: {why}");
+            return None;
+        }
+    };
+    for failure in report.failures() {
+        eprintln!("[quality_gate] FAIL {failure}");
+    }
+    assert!(
+        report.pass(),
+        "quality_gate suite failed: {}",
+        report
+            .failures()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    let mut summary = QualityGateReport {
+        families: report.families.len(),
+        queries: 0,
+        worst_ndcg_delta: 0.0,
+        worst_mrr_delta: 0.0,
+        min_unique_sources_gain: f64::INFINITY,
+        min_dissimilarity_gain: f64::INFINITY,
+    };
+    for (family, spec) in report.families.iter().zip(&pack.families) {
+        summary.queries += family.queries;
+        summary.worst_ndcg_delta = summary.worst_ndcg_delta.min(family.deltas.ndcg_delta);
+        summary.worst_mrr_delta = summary.worst_mrr_delta.min(family.deltas.mrr_delta);
+        summary.min_unique_sources_gain = summary
+            .min_unique_sources_gain
+            .min(family.deltas.unique_sources_gain);
+        summary.min_dissimilarity_gain = summary
+            .min_dissimilarity_gain
+            .min(family.deltas.dissimilarity_gain);
+        eprintln!(
+            "[quality_gate] {}: uniq {:+.3}, dissim {:+.3}, ndcg {:+.4} — pass",
+            family.name,
+            family.deltas.unique_sources_gain,
+            family.deltas.dissimilarity_gain,
+            family.deltas.ndcg_delta
+        );
+        // One cell per family: wall time is the diversity-on p95 engine
+        // latency; the score column carries the NDCG delta the gates
+        // guard (cross-run comparable — the pack is deterministic).
+        let p95_ns = (family.on.p95_ms * 1e6).max(0.0) as u128;
+        cells.push(Cell {
+            suite: "quality_gate",
+            algo: "on-vs-off",
+            kernel: Box::leak(family.name.clone().into_boxed_str()),
+            seed: pack.seed,
+            n: family.queries,
+            edges: 0,
+            k: spec.k,
+            wall_ns_runs: vec![p95_ns],
+            wall_ns: p95_ns,
+            peak_bytes: 0,
+            score: Some(family.deltas.ndcg_delta),
+        });
+    }
+    Some(summary)
+}
+
 /// Every suite a complete perfbase run records cells for.
-const EXPECTED_SUITES: [&str; 9] = [
+const EXPECTED_SUITES: [&str; 10] = [
     "planted_default",
     "planted_dense_neardup",
     "path",
@@ -956,11 +1051,12 @@ const EXPECTED_SUITES: [&str; 9] = [
     "live_update",
     "cold_start",
     "serving_latency",
+    "quality_gate",
 ];
 
 /// Every summary key a complete perfbase run publishes (all numeric; all
 /// must be finite).
-const EXPECTED_SUMMARY_KEYS: [&str; 17] = [
+const EXPECTED_SUMMARY_KEYS: [&str; 21] = [
     "astar_bitset_speedup_planted_default",
     "astar_bitset_speedup_planted_dense_neardup",
     "throughput_qps_baseline",
@@ -978,6 +1074,10 @@ const EXPECTED_SUMMARY_KEYS: [&str; 17] = [
     "serving_latency_p95_ms",
     "serving_latency_p99_ms",
     "serving_latency_shard_speedup",
+    "quality_gate_pass",
+    "quality_gate_families",
+    "quality_gate_worst_ndcg_delta",
+    "quality_gate_min_unique_sources_gain",
 ];
 
 /// `--verify PATH`: structurally validates a trajectory file via the
@@ -1288,7 +1388,7 @@ fn dense_neardup_config(smoke: bool) -> ClusterConfig {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut smoke = false;
     let mut runs_override: Option<usize> = None;
     let mut verify_path: Option<String> = None;
@@ -1473,6 +1573,11 @@ fn main() {
     // Suite 8: end-to-end serving latency over TCP — open-loop trace
     // against a live server per shard count (DESIGN.md §11).
     let serving_latency = serving_latency_suite(&mut cells, smoke);
+
+    // Suite 9: query-pack quality gates — diversity and relevance deltas
+    // per pack family, with the pack's own pass criteria enforced
+    // (DESIGN.md §12).
+    let quality = quality_gate_suite(&mut cells);
 
     // Kernel oracle check: within a (suite, seed), the bitset and
     // sorted-vec div-astar cells must find the same best score.
@@ -1688,12 +1793,41 @@ fn main() {
         }
     }
 
+    if let Some(report) = &quality {
+        // The suite asserts pass, so this key is 1 whenever it appears;
+        // it exists so `--verify` can prove the gates actually ran.
+        summary_lines.push("\"quality_gate_pass\": 1".to_string());
+        summary_lines.push(format!("\"quality_gate_families\": {}", report.families));
+        summary_lines.push(format!("\"quality_gate_queries\": {}", report.queries));
+        summary_lines.push(format!(
+            "\"quality_gate_worst_ndcg_delta\": {:.4}",
+            report.worst_ndcg_delta
+        ));
+        summary_lines.push(format!(
+            "\"quality_gate_worst_mrr_delta\": {:.4}",
+            report.worst_mrr_delta
+        ));
+        summary_lines.push(format!(
+            "\"quality_gate_min_unique_sources_gain\": {:.4}",
+            report.min_unique_sources_gain
+        ));
+        summary_lines.push(format!(
+            "\"quality_gate_min_dissimilarity_gain\": {:.4}",
+            report.min_dissimilarity_gain
+        ));
+        eprintln!(
+            "[summary] quality gates: {} families pass, worst NDCG delta {:+.4}, \
+             min unique-source gain {:+.3}",
+            report.families, report.worst_ndcg_delta, report.min_unique_sources_gain
+        );
+    }
+
     let cell_json: Vec<String> = cells
         .iter()
         .map(|c| format!("    {}", c.to_json()))
         .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 6,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
+        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 7,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
         cell_json.join(",\n"),
         summary_lines.join(", "),
     );

@@ -1,0 +1,115 @@
+//! `quality_gate` — the CI quality gate: replays a query-pack through
+//! the engine twice per query (diversity on vs. off, same snapshot),
+//! scores diversity and relevance, and exits non-zero naming the family
+//! and metric of every gate that failed.
+//!
+//! ```text
+//! quality_gate [--pack PATH] [--out PATH]
+//! quality_gate --emit-default-pack PATH
+//! ```
+//!
+//! With no `--pack`, the built-in default pack runs. `--out` writes the
+//! self-validated `divtopk-quality/1` evidence table. The second form
+//! writes the built-in pack (`divtopk-pack/1`) to PATH and exits — the
+//! committed `benchmarks/query-pack.v1.json` is produced this way.
+
+use divtopk_bench::quality::evaluate;
+use divtopk_bench::workload::QueryPack;
+
+struct Args {
+    pack: Option<String>,
+    out: Option<String>,
+    emit_default: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            pack: None,
+            out: None,
+            emit_default: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--pack" => args.pack = Some(value("--pack")?),
+                "--out" => args.out = Some(value("--out")?),
+                "--emit-default-pack" => {
+                    args.emit_default = Some(value("--emit-default-pack")?);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(why) => {
+            eprintln!("quality_gate: {why}");
+            eprintln!("usage: quality_gate [--pack PATH] [--out PATH] | --emit-default-pack PATH");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &args.emit_default {
+        let text = QueryPack::default_pack().to_json_pretty();
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("quality_gate: writing {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("quality_gate: wrote default pack to {path}");
+        return;
+    }
+
+    let pack = match &args.pack {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("quality_gate: reading {path}: {e}");
+                std::process::exit(2);
+            });
+            match QueryPack::from_json(&text) {
+                Ok(pack) => pack,
+                Err(why) => {
+                    eprintln!("quality_gate: {path}: {why}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => QueryPack::default_pack(),
+    };
+
+    eprintln!(
+        "quality_gate: evaluating pack {:?} ({} families)",
+        pack.name,
+        pack.families.len()
+    );
+    let report = match evaluate(&pack) {
+        Ok(report) => report,
+        Err(why) => {
+            eprintln!("quality_gate: evaluation failed: {why}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{}", report.render_table());
+    if let Some(path) = &args.out {
+        std::fs::write(path, report.to_json_pretty()).unwrap_or_else(|e| {
+            eprintln!("quality_gate: writing {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("quality_gate: wrote evidence table to {path}");
+    }
+
+    if report.pass() {
+        eprintln!("quality_gate: PASS ({} families)", report.families.len());
+        return;
+    }
+    for failure in report.failures() {
+        eprintln!("quality_gate: FAIL {failure}");
+    }
+    std::process::exit(1);
+}

@@ -107,6 +107,95 @@ impl Value {
     }
 }
 
+/// Emits `value` as compact JSON (no whitespace). The inverse of
+/// [`parse`]: `parse(&emit(v)) == Ok(v)` for every finite DOM.
+///
+/// Numbers whose value is an integer with magnitude below 2⁵³ print
+/// without a fractional part (so seeds and counters survive a
+/// parse→emit→parse round trip textually); every other finite number
+/// uses Rust's shortest round-tripping `f64` display. Non-finite numbers
+/// have no JSON spelling and emit as `null` — callers that care (the
+/// trajectory writer) validate finiteness before emitting.
+pub fn emit(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Emits `value` as human-readable JSON: 2-space indentation, one
+/// array element / object field per line. Same number and escape rules
+/// as [`emit`]; the committed query-pack files use this form so diffs
+/// stay reviewable.
+pub fn emit_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+/// Shared emission core: `indent = None` → compact, `Some(w)` → pretty
+/// with `w`-space steps at nesting `depth`.
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    let newline = |out: &mut String, depth: usize| {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&format_number(*n)),
+        Value::String(s) => {
+            out.push('"');
+            out.push_str(&escape_string(s));
+            out.push('"');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline(out, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, field)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, depth + 1);
+                out.push('"');
+                out.push_str(&escape_string(key));
+                out.push_str(if indent.is_some() { "\": " } else { "\":" });
+                write_value(out, field, indent, depth + 1);
+            }
+            if !fields.is_empty() {
+                newline(out, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// JSON spelling of an `f64` (see [`emit`] for the rules).
+fn format_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_owned();
+    }
+    if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
 /// Parses `s` into a [`Value`] DOM under the same strict RFC 8259 rules
 /// as [`validate`]. Returns a byte offset + message on failure.
 pub fn parse(s: &str) -> Result<Value, String> {
@@ -520,6 +609,54 @@ mod tests {
         // only to surface them.
         let v = parse("1e999").unwrap();
         assert_eq!(v.as_f64(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn emit_round_trips_through_parse() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("pack \"v1\"\n".into())),
+            ("seed".into(), Value::Number(123456789012345.0)),
+            ("tau".into(), Value::Number(0.6)),
+            ("flag".into(), Value::Bool(false)),
+            ("none".into(), Value::Null),
+            (
+                "arr".into(),
+                Value::Array(vec![
+                    Value::Number(-2.5),
+                    Value::Array(vec![]),
+                    Value::Object(vec![]),
+                ]),
+            ),
+        ]);
+        for text in [emit(&v), emit_pretty(&v)] {
+            assert!(validate(&text).is_ok(), "{text}");
+            assert_eq!(parse(&text).unwrap(), v, "{text}");
+        }
+        // Integral numbers print without a fraction, so emitted seeds are
+        // textually stable across round trips.
+        assert_eq!(emit(&Value::Number(42.0)), "42");
+        assert_eq!(emit(&Value::Number(-0.0)), "0");
+        assert_eq!(emit(&Value::Number(0.125)), "0.125");
+        // Non-finite values degrade to null rather than corrupt the file.
+        assert_eq!(emit(&Value::Number(f64::NAN)), "null");
+        assert_eq!(emit(&Value::Number(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn pretty_emission_is_stable_and_indented() {
+        let v = Value::Object(vec![(
+            "families".into(),
+            Value::Array(vec![Value::Object(vec![(
+                "name".into(),
+                Value::String("head".into()),
+            )])]),
+        )]);
+        let text = emit_pretty(&v);
+        assert_eq!(
+            text,
+            "{\n  \"families\": [\n    {\n      \"name\": \"head\"\n    }\n  ]\n}"
+        );
+        assert_eq!(parse(&text).unwrap(), v);
     }
 
     #[test]

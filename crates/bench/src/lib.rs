@@ -6,6 +6,8 @@
 
 pub mod json;
 pub mod load;
+pub mod quality;
+pub mod workload;
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};

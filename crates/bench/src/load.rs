@@ -17,6 +17,79 @@ use divtopk_text::query::KeywordQuery;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+/// The *shape* of an open-loop arrival process. The base rate comes from
+/// the owning spec; the shape modulates it deterministically over time,
+/// so the same (shape, rate, total) always yields byte-identical arrival
+/// offsets — the query-pack replay-determinism property depends on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalShape {
+    /// Constant rate: arrival `i` at exactly `i / rate` seconds.
+    Uniform,
+    /// Periodic bursts: the instantaneous rate is `rate × factor` during
+    /// the first `burst_s` seconds of every `period_s`-second window and
+    /// `rate` otherwise — the flash-crowd shape.
+    Burst {
+        /// Rate multiplier inside a burst window (≥ 1).
+        factor: f64,
+        /// Window period, seconds.
+        period_s: f64,
+        /// Burst length at the start of each window, seconds.
+        burst_s: f64,
+    },
+    /// Sinusoidal day/night swing: instantaneous rate
+    /// `rate × (1 + amplitude · sin(2π t / period_s))`.
+    Diurnal {
+        /// Swing amplitude in `[0, 1)` (1 would stall the trough).
+        amplitude: f64,
+        /// Full day/night cycle length, seconds.
+        period_s: f64,
+    },
+}
+
+impl ArrivalShape {
+    /// Instantaneous rate multiplier at time `t` seconds.
+    fn multiplier(&self, t: f64) -> f64 {
+        match self {
+            ArrivalShape::Uniform => 1.0,
+            ArrivalShape::Burst {
+                factor,
+                period_s,
+                burst_s,
+            } => {
+                if t.rem_euclid(*period_s) < *burst_s {
+                    *factor
+                } else {
+                    1.0
+                }
+            }
+            ArrivalShape::Diurnal {
+                amplitude,
+                period_s,
+            } => 1.0 + amplitude * (std::f64::consts::TAU * t / period_s).sin(),
+        }
+    }
+
+    /// Deterministic arrival offsets (ns from trace start) for `total`
+    /// arrivals at base rate `rate`: a forward-Euler integration of the
+    /// instantaneous rate — arrival `i+1` lands `1 / r(tᵢ)` after
+    /// arrival `i`. Monotone by construction; `Uniform` reproduces the
+    /// exact `i / rate` grid the open-loop client has always used.
+    pub fn offsets_ns(&self, rate: f64, total: usize) -> Vec<u64> {
+        let rate = rate.max(1e-6);
+        if matches!(self, ArrivalShape::Uniform) {
+            return (0..total).map(|i| (i as f64 / rate * 1e9) as u64).collect();
+        }
+        let mut offsets = Vec::with_capacity(total);
+        let mut t = 0.0f64;
+        for _ in 0..total {
+            offsets.push((t * 1e9) as u64);
+            let r = (rate * self.multiplier(t)).max(1e-6);
+            t += 1.0 / r;
+        }
+        offsets
+    }
+}
+
 /// One open-loop trace specification.
 #[derive(Debug, Clone)]
 pub struct LoadSpec {
@@ -37,6 +110,8 @@ pub struct LoadSpec {
     pub k: u32,
     /// `τ` for every query.
     pub tau: f64,
+    /// Arrival-schedule shape modulating `rate` over the trace.
+    pub shape: ArrivalShape,
 }
 
 impl LoadSpec {
@@ -51,6 +126,7 @@ impl LoadSpec {
             ta_fraction: 0.25,
             k: 5,
             tau: 0.5,
+            shape: ArrivalShape::Uniform,
         }
     }
 }
@@ -149,16 +225,16 @@ pub fn build_trace(spec: &LoadSpec, num_terms: u32) -> Vec<Request> {
 pub fn run_open_loop(spec: &LoadSpec) -> Result<LoadReport, String> {
     let (num_terms, _num_docs) = probe_vocabulary(&spec.addr)?;
     let trace = build_trace(spec, num_terms);
+    let offsets = spec.shape.offsets_ns(spec.rate, trace.len());
     let connections = spec.connections.clamp(1, trace.len().max(1));
-    let interval = Duration::from_secs_f64(1.0 / spec.rate.max(1e-6));
     let start = Instant::now() + Duration::from_millis(5);
     let mut senders = Vec::new();
     for c in 0..connections {
-        let requests: Vec<(usize, Request)> = trace
+        let requests: Vec<(u64, Request)> = trace
             .iter()
             .enumerate()
             .filter(|(i, _)| i % connections == c)
-            .map(|(i, r)| (i, r.clone()))
+            .map(|(i, r)| (offsets[i], r.clone()))
             .collect();
         let addr = spec.addr.clone();
         senders.push(std::thread::spawn(
@@ -167,8 +243,8 @@ pub fn run_open_loop(spec: &LoadSpec) -> Result<LoadReport, String> {
                     TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
                 stream.set_nodelay(true).ok();
                 let mut tally = SenderTally::default();
-                for (i, request) in requests {
-                    let scheduled = start + interval.mul_f64(i as f64);
+                for (offset_ns, request) in requests {
+                    let scheduled = start + Duration::from_nanos(offset_ns);
                     if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
                         std::thread::sleep(wait);
                     }
@@ -235,4 +311,61 @@ struct SenderTally {
     overloaded: u64,
     errors: u64,
     latencies_ns: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_offsets_are_the_classic_grid() {
+        let offsets = ArrivalShape::Uniform.offsets_ns(100.0, 5);
+        assert_eq!(
+            offsets,
+            vec![0, 10_000_000, 20_000_000, 30_000_000, 40_000_000]
+        );
+    }
+
+    #[test]
+    fn burst_shape_concentrates_arrivals_and_is_deterministic() {
+        let shape = ArrivalShape::Burst {
+            factor: 8.0,
+            period_s: 1.0,
+            burst_s: 0.2,
+        };
+        let offsets = shape.offsets_ns(50.0, 400);
+        assert_eq!(
+            offsets,
+            shape.offsets_ns(50.0, 400),
+            "must be deterministic"
+        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "must be monotone");
+        // Arrivals inside burst windows (first 20% of each second) must
+        // far outnumber a uniform trace's share.
+        let in_burst = offsets
+            .iter()
+            .filter(|&&ns| (ns as f64 / 1e9).rem_euclid(1.0) < 0.2)
+            .count();
+        assert!(
+            in_burst * 2 > offsets.len(),
+            "only {in_burst}/{} arrivals in burst windows",
+            offsets.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_shape_swings_the_interarrival_gap() {
+        let shape = ArrivalShape::Diurnal {
+            amplitude: 0.8,
+            period_s: 2.0,
+        };
+        let offsets = shape.offsets_ns(200.0, 800);
+        assert_eq!(offsets, shape.offsets_ns(200.0, 800));
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let gaps: Vec<u64> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let (min, max) = (gaps.iter().min().unwrap(), gaps.iter().max().unwrap());
+        // Peak-to-trough rate ratio is (1+0.8)/(1-0.8) = 9; allow slack
+        // for the Euler stepping but demand a clear swing.
+        assert!(*max > *min * 4, "gap swing too small: {min}..{max}");
+    }
 }

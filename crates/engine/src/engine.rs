@@ -170,8 +170,8 @@ impl CacheKey {
             k: options.k,
             tau_q: (options.tau * 1e9).round() as u64,
             algo: format!(
-                "{:?}|{:?}|{}",
-                options.algorithm, options.limits, options.bound_decay
+                "{:?}|{:?}|{}|{}",
+                options.algorithm, options.limits, options.bound_decay, options.diversify
             ),
         }
     }
@@ -548,6 +548,33 @@ impl Engine {
         result
     }
 
+    /// Serves one query **bypassing the result cache**: same admission,
+    /// same snapshot pin, same segmented execution as [`Engine::search`],
+    /// but the cache is neither probed nor populated. For measurement
+    /// paths that must observe real execution cost every time — the
+    /// quality harness's cold-cache sweeps — without disturbing the
+    /// cache's contents or hit/miss counters for production traffic.
+    pub fn search_uncached(
+        &self,
+        query: &Query,
+        options: &SearchOptions,
+    ) -> Result<SearchOutput, SearchError> {
+        let snap = self.pin();
+        let admission = options.validate().and_then(|()| {
+            let terms: &[TermId] = match query {
+                Query::Scan(term) => std::slice::from_ref(term),
+                Query::Keywords(q) => &q.terms,
+            };
+            snap.index.validate_terms(terms)
+        });
+        if let Err(e) = admission {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.execute(&snap, query, options)
+    }
+
     /// Executes a batch concurrently on the scoped worker pool; results
     /// come back in input order. Each query is admitted, **snapshot-
     /// pinned, and generation-checked at its own cache probe** exactly as
@@ -878,6 +905,57 @@ mod tests {
             readded.hits.iter().any(|h| h.doc == range.start),
             "re-added doc not served"
         );
+    }
+
+    #[test]
+    fn diversify_flag_keys_the_cache_separately() {
+        let e = engine(2);
+        let term = popular_term(&e);
+        let on = SearchOptions::new(4).with_tau(0.3);
+        let off = on.clone().with_diversify(false);
+        let out_on = e.search(&Query::Scan(term), &on).unwrap();
+        let out_off = e.search(&Query::Scan(term), &off).unwrap();
+        let stats = e.stats();
+        assert_eq!(
+            stats.cache_entries, 2,
+            "diversify on/off must be distinct cache entries"
+        );
+        assert_eq!(stats.cache_hits, 0);
+        // The off path is plain top-k: total score is an upper bound on
+        // the diversified total for the same query.
+        assert!(out_off.total_score.get() >= out_on.total_score.get() - 1e-9);
+        // Repeats of each variant hit their own entry with the right bits.
+        assert_eq!(e.search(&Query::Scan(term), &on).unwrap(), out_on);
+        assert_eq!(e.search(&Query::Scan(term), &off).unwrap(), out_off);
+        assert_eq!(e.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn search_uncached_bypasses_but_matches_the_cached_path() {
+        let e = engine(2);
+        let term = popular_term(&e);
+        let options = SearchOptions::new(4).with_tau(0.5);
+        let a = e.search_uncached(&Query::Scan(term), &options).unwrap();
+        let b = e.search_uncached(&Query::Scan(term), &options).unwrap();
+        assert_eq!(a, b, "uncached path must be deterministic");
+        let stats = e.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(
+            (stats.cache_hits, stats.cache_misses, stats.cache_entries),
+            (0, 0, 0),
+            "uncached searches must not touch the cache"
+        );
+        // Same answer as the cached path, and admission still rejects.
+        assert_eq!(e.search(&Query::Scan(term), &options).unwrap(), a);
+        assert!(matches!(
+            e.search_uncached(&Query::Scan(term), &SearchOptions::new(0)),
+            Err(SearchError::InvalidK { k: 0 })
+        ));
+        let bogus = e.corpus().num_terms() as TermId;
+        assert!(matches!(
+            e.search_uncached(&Query::Scan(bogus), &SearchOptions::new(2)),
+            Err(SearchError::UnknownTerm { .. })
+        ));
     }
 
     /// The satellite bugfix pinned as a unit test: cache probes resolve

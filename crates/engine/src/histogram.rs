@@ -161,6 +161,90 @@ mod tests {
         assert!((1.4e6..=1.6e6).contains(&mean), "mean {mean}");
     }
 
+    /// Exact quantile with the same rank convention as `quantile_ns`
+    /// (rank = ceil(q·n), 1-based), against the raw samples.
+    fn exact_quantile(samples: &mut [u64], q: f64) -> u64 {
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+        samples[rank - 1]
+    }
+
+    /// The documented accuracy contract, checked directly: for every
+    /// distribution the reported quantile is ≥ the exact one (bucket
+    /// upper edge — never an underestimate) and overshoots by at most
+    /// 1/SUB_BUCKETS = 12.5%.
+    fn assert_quantile_bound(samples: &[u64]) {
+        let h = LatencyHistogram::new();
+        for &ns in samples {
+            h.record(ns);
+        }
+        let mut sorted = samples.to_vec();
+        for q in [0.50, 0.95, 0.99] {
+            let exact = exact_quantile(&mut sorted, q);
+            let reported = h.quantile_ns(q);
+            assert!(
+                reported >= exact,
+                "q={q}: reported {reported} < exact {exact}"
+            );
+            // Below LINEAR_MAX_NS everything shares bucket 0 whose upper
+            // edge is LINEAR_MAX_NS itself; the relative bound only
+            // applies above it.
+            let ceiling = (exact as f64 * 1.125).max(LatencyHistogram::LINEAR_MAX_NS as f64);
+            assert!(
+                reported as f64 <= ceiling,
+                "q={q}: reported {reported} > 1.125 × exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_error_bound_uniform_distribution() {
+        // Uniform over [2 µs, 10 ms): p50 ≈ 5 ms, p99 ≈ 9.9 ms.
+        let samples: Vec<u64> = (0..10_000u64).map(|i| 2_000 + i * 1_000).collect();
+        assert_quantile_bound(&samples);
+    }
+
+    #[test]
+    fn quantile_error_bound_heavy_tail() {
+        // Zipf-ish heavy tail spanning four decades: latency grows as
+        // 10 µs / (1 - u)^2, capped at 1 s — p99 lands ~10000× above p50.
+        let samples: Vec<u64> = (0..20_000u64)
+            .map(|i| {
+                let u = i as f64 / 20_000.0;
+                ((10_000.0 / (1.0 - u).powi(2)) as u64).min(1_000_000_000)
+            })
+            .collect();
+        assert_quantile_bound(&samples);
+    }
+
+    #[test]
+    fn quantile_error_bound_bimodal() {
+        // 90% fast mode around 5 µs, 10% slow mode around 80 ms — the
+        // cache-hit/cache-miss shape the serving tier actually produces.
+        // p50 sits in the fast mode, p95/p99 in the slow one.
+        let mut samples = Vec::new();
+        for i in 0..9_000u64 {
+            samples.push(4_000 + (i % 2_000));
+        }
+        for i in 0..1_000u64 {
+            samples.push(60_000_000 + i * 40_000);
+        }
+        assert_quantile_bound(&samples);
+    }
+
+    #[test]
+    fn quantile_error_bound_exponential_spacing() {
+        // Log-spaced samples hitting every octave from 2 µs to ~34 s:
+        // exercises the bound across the histogram's full dynamic range.
+        let samples: Vec<u64> = (0..24u32)
+            .flat_map(|o| {
+                let base = 1u64 << (11 + o);
+                (0..16u64).map(move |s| base + s * (base / 16))
+            })
+            .collect();
+        assert_quantile_bound(&samples);
+    }
+
     #[test]
     fn empty_and_extreme_values_are_safe() {
         let h = LatencyHistogram::new();

@@ -74,7 +74,7 @@ pub mod prelude {
         validate_terms,
     };
     pub use crate::segments::{Segment, SegmentedIndex, Tombstones};
-    pub use crate::synth::{SynthConfig, generate};
+    pub use crate::synth::{SynthConfig, generate, generate_labeled};
     pub use crate::ta::TaSource;
     pub use crate::tfidf::{partial_score, score};
     pub use crate::tokenize::tokenize;

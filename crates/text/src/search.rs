@@ -64,6 +64,13 @@ pub struct SearchOptions {
     /// Framework bound-decay throttle (0.0 = the paper's per-result
     /// checking; see `DivSearchConfig::min_bound_decay`).
     pub bound_decay: f64,
+    /// When `false`, the similarity predicate is replaced by a constant
+    /// `false`: the diversity graph is edgeless, so the framework returns
+    /// the plain relevance top-k (score descending, doc id as tie-break)
+    /// through the *same* source and early-stop machinery — the
+    /// deterministic diversity-off oracle the quality harness compares
+    /// against. Defaults to `true`.
+    pub diversify: bool,
 }
 
 impl SearchOptions {
@@ -75,7 +82,14 @@ impl SearchOptions {
             algorithm: ExactAlgorithm::Cut,
             limits: SearchLimits::unlimited(),
             bound_decay: 0.0,
+            diversify: true,
         }
+    }
+
+    /// Enables or disables diversification (see the `diversify` field).
+    pub fn with_diversify(mut self, diversify: bool) -> SearchOptions {
+        self.diversify = diversify;
+        self
     }
 
     /// Overrides the framework bound-decay throttle.
@@ -146,15 +160,20 @@ where
 {
     options.validate()?;
     let tau = options.tau;
+    let diversify = options.diversify;
+    // With diversification off the predicate short-circuits to `false`:
+    // an edgeless graph makes the diversified optimum the plain score-
+    // descending top-k, while the Lemma 1/3 early stops stay sound.
     let similar = move |a: &DocId, b: &DocId| {
-        similar_above(
-            corpus.idf_table(),
-            corpus.doc(*a),
-            weights[*a as usize],
-            corpus.doc(*b),
-            weights[*b as usize],
-            tau,
-        )
+        diversify
+            && similar_above(
+                corpus.idf_table(),
+                corpus.doc(*a),
+                weights[*a as usize],
+                corpus.doc(*b),
+                weights[*b as usize],
+                tau,
+            )
     };
     let config = DivSearchConfig::new(options.k)
         .with_algorithm(options.algorithm.clone())
@@ -356,6 +375,75 @@ mod tests {
         );
         assert!(out.metrics.early_stopped);
         assert_eq!(out.hits.len(), 3);
+    }
+
+    #[test]
+    fn diversify_off_returns_plain_topk() {
+        let (corpus, index) = setup();
+        let term = (0..corpus.num_terms() as TermId)
+            .max_by_key(|&t| index.postings(t).len())
+            .unwrap();
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let off = searcher
+            .search_scan(
+                term,
+                &SearchOptions::new(5).with_tau(0.3).with_diversify(false),
+            )
+            .unwrap();
+        assert_eq!(off.hits.len(), 5);
+        // Hits are score-descending and their scores are exactly the top-5
+        // relevance scores of the whole posting list.
+        let mut all: Vec<f64> = index
+            .postings(term)
+            .iter()
+            .map(|p| crate::tfidf::score(&corpus, &[term], p.doc).get())
+            .collect();
+        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (hit, want) in off.hits.iter().zip(&all) {
+            assert!(
+                (hit.score.get() - want).abs() < 1e-9,
+                "hit {} want {want}",
+                hit.score
+            );
+        }
+        // τ = 1.0 with diversification on is the same oracle (Jaccard can
+        // never exceed 1), so the two paths must agree on total score.
+        let tau_one = searcher
+            .search_scan(term, &SearchOptions::new(5).with_tau(1.0))
+            .unwrap();
+        assert!(off.total_score.approx_eq(tau_one.total_score, 1e-9));
+        // And it is deterministic run-to-run.
+        let again = searcher
+            .search_scan(
+                term,
+                &SearchOptions::new(5).with_tau(0.3).with_diversify(false),
+            )
+            .unwrap();
+        assert_eq!(off.hits, again.hits);
+    }
+
+    #[test]
+    fn diversify_off_never_scores_below_diversified() {
+        // The diversity-off total is an upper bound on the diversified
+        // total for the same query (constraints only remove options).
+        let (corpus, index) = setup();
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let query = query_for_band(&corpus, 2, 2, 5).expect("band 2 populated");
+        let on = searcher
+            .search_ta(&query, &SearchOptions::new(4).with_tau(0.3))
+            .unwrap();
+        let off = searcher
+            .search_ta(
+                &query,
+                &SearchOptions::new(4).with_tau(0.3).with_diversify(false),
+            )
+            .unwrap();
+        assert!(
+            off.total_score.get() >= on.total_score.get() - 1e-9,
+            "off {} < on {}",
+            off.total_score,
+            on.total_score
+        );
     }
 
     #[test]

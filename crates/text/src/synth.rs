@@ -150,6 +150,16 @@ impl TermCdf {
 
 /// Generates a corpus from `config`. Deterministic in `config.seed`.
 pub fn generate(config: &SynthConfig) -> Corpus {
+    generate_labeled(config).0
+}
+
+/// Like [`generate`], but also returns each document's topic label
+/// (near-duplicates inherit their source's topic; bridge documents are
+/// labeled with their primary topic). The corpus is bit-identical to what
+/// [`generate`] produces for the same config — the labels were always
+/// computed internally, this just stops discarding them. The quality
+/// harness uses them as ground-truth "sources" for unique-source@k.
+pub fn generate_labeled(config: &SynthConfig) -> (Corpus, Vec<u32>) {
     assert!(config.num_docs > 0 && config.vocab_size > 0 && config.topics > 0);
     assert!(config.doc_len.0 >= 1 && config.doc_len.0 <= config.doc_len.1);
     let mut rng = Pcg::new(config.seed);
@@ -220,7 +230,8 @@ pub fn generate(config: &SynthConfig) -> Corpus {
         token_lists.push(tokens);
         doc_topic.push(topic);
     }
-    builder.build()
+    let labels = doc_topic.iter().map(|&t| t as u32).collect();
+    (builder.build(), labels)
 }
 
 #[cfg(test)]
@@ -296,6 +307,27 @@ mod tests {
         assert!(mean > 0.001, "mean similarity {mean} — no structure");
         assert!(mean < 0.5, "mean similarity {mean} — everything similar");
         assert!(high > 0, "no near-duplicate pairs sampled");
+    }
+
+    #[test]
+    fn labeled_generation_matches_unlabeled_and_is_in_range() {
+        let config = SynthConfig::tiny();
+        let plain = generate(&config);
+        let (labeled, labels) = generate_labeled(&config);
+        assert_eq!(labels.len(), config.num_docs);
+        assert!(labels.iter().all(|&l| (l as usize) < config.topics));
+        for d in 0..plain.num_docs() as u32 {
+            assert_eq!(plain.doc(d).terms, labeled.doc(d).terms, "doc {d}");
+        }
+        // Near-duplicates inherit their source topic: with dup prob 1,
+        // every doc after the first shares doc 0's label.
+        let dup_config = SynthConfig {
+            num_docs: 4,
+            near_dup_prob: 1.0,
+            ..SynthConfig::tiny()
+        };
+        let (_, dup_labels) = generate_labeled(&dup_config);
+        assert!(dup_labels.iter().all(|&l| l == dup_labels[0]));
     }
 
     #[test]
