@@ -189,6 +189,9 @@ fn format_number(n: f64) -> String {
     if !n.is_finite() {
         return "null".to_owned();
     }
+    // LINT-ALLOW(float-eq): fract() of an integral double is exactly
+    // +0.0 by IEEE-754 — this is the standard integrality test, not an
+    // approximate comparison.
     if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
         format!("{}", n as i64)
     } else {

@@ -26,10 +26,21 @@ static PEAK: AtomicUsize = AtomicUsize::new(0);
 /// then bracket measured regions with [`reset_peak`] / [`peak_since`].
 pub struct PeakAlloc;
 
+// SAFETY: every method delegates verbatim to `System` with the caller's
+// own layout/pointer arguments, upholding `GlobalAlloc`'s contract
+// exactly as `System` does; the counter updates never touch the
+// allocation itself (and never allocate — plain atomics), so no
+// reentrancy or aliasing is introduced.
 unsafe impl GlobalAlloc for PeakAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: same contract as the outer call — `layout` is the
+        // caller's, passed through unchanged.
         let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
+            // RELAXED: best-effort live/peak accounting — single-threaded
+            // in every bench that reads it, and a momentarily stale peak
+            // only under-reports a concurrent spike; no ordering is
+            // needed for a measurement counter.
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(cur, Ordering::Relaxed);
         }
@@ -37,18 +48,25 @@ unsafe impl GlobalAlloc for PeakAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are the caller's matched pair, passed
+        // through unchanged to the allocator that produced them.
         unsafe { System.dealloc(ptr, layout) };
+        // RELAXED: measurement counter — see `alloc`.
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: caller's matched `ptr`/`layout`/`new_size`, passed
+        // through unchanged.
         let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
         if !new_ptr.is_null() {
             if new_size >= layout.size() {
+                // RELAXED: measurement counter — see `alloc`.
                 let cur = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
                     - layout.size();
                 PEAK.fetch_max(cur, Ordering::Relaxed);
             } else {
+                // RELAXED: measurement counter — see `alloc`.
                 CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
             }
         }
@@ -58,11 +76,13 @@ unsafe impl GlobalAlloc for PeakAlloc {
 
 /// Bytes currently live (as seen by the counting allocator).
 pub fn current_bytes() -> usize {
+    // RELAXED: measurement read — see `PeakAlloc::alloc`.
     CURRENT.load(Ordering::Relaxed)
 }
 
 /// Resets the peak to the current live size; returns the baseline.
 pub fn reset_peak() -> usize {
+    // RELAXED: measurement read/write — see `PeakAlloc::alloc`.
     let cur = CURRENT.load(Ordering::Relaxed);
     PEAK.store(cur, Ordering::Relaxed);
     cur
@@ -70,6 +90,7 @@ pub fn reset_peak() -> usize {
 
 /// Peak bytes *above* the given baseline since the last [`reset_peak`].
 pub fn peak_since(baseline: usize) -> usize {
+    // RELAXED: measurement read — see `PeakAlloc::alloc`.
     PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
 }
 

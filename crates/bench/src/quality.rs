@@ -389,6 +389,9 @@ fn run_side(
     cache: CacheMode,
     acc: &mut SideAcc,
 ) -> Result<SearchOutput, String> {
+    // LINT-ALLOW(wallclock): latency measurement only — the timings
+    // land in the report's latency fields, never in result selection, so
+    // replayed runs stay byte-identical everywhere the harness compares.
     let started = Instant::now();
     let out = match cache {
         CacheMode::Normal => engine.search(query, options),

@@ -808,6 +808,9 @@ fn req_f64(obj: &Value, context: &str, field: &'static str) -> Result<f64, PackE
 
 fn req_u64(obj: &Value, context: &str, field: &'static str) -> Result<u64, PackError> {
     let n = req_f64(obj, context, field)?;
+    // LINT-ALLOW(float-eq): exact IEEE-754 integrality test on fract()
+    // (see json::format_number) — rejecting any fractional part is the
+    // point, so an epsilon would be wrong.
     if n < 0.0 || n.fract() != 0.0 || n >= 9_007_199_254_740_992.0 {
         return Err(bad(
             context,

@@ -306,6 +306,10 @@ where
             } else {
                 metrics.necessary_checks += 1;
                 let decayed = match (last_search_bound, unseen) {
+                    // LINT-ALLOW(float-eq): 0.0 is the documented
+                    // sentinel for "decay gate disabled", set literally
+                    // in config — an exact-representation compare, not
+                    // arithmetic.
                     _ if self.config.min_bound_decay == 0.0 => true,
                     (Some(prev), Some(now)) => {
                         now.get() <= prev.get() * (1.0 - self.config.min_bound_decay)

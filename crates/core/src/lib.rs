@@ -81,6 +81,7 @@ pub mod score;
 pub mod sim;
 pub mod solution;
 pub mod sources;
+pub mod sync;
 pub mod testgen;
 
 /// One-stop imports for typical users of the crate.

@@ -30,6 +30,7 @@
 //! (return) when their queue is full and are re-spawned by the consumer,
 //! so a pool of **any** size ≥ 1 makes progress.
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
 use std::panic::{AssertUnwindSafe, catch_unwind, resume_unwind};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -56,20 +57,22 @@ struct PoolShared {
 
 impl PoolShared {
     fn inject(&self, task: Task) {
+        // RELAXED: round-robin placement only — the counter orders nothing;
+        // any interleaving of slot choices is equally correct.
         let slot = self.next_deque.fetch_add(1, Ordering::Relaxed) % self.deques.len();
-        self.deques[slot].lock().unwrap().push_back(task);
+        lock_unpoisoned(&self.deques[slot]).push_back(task);
         // Serialize against sleepers (see `signal`), then ring.
-        drop(self.signal.lock().unwrap());
+        drop(lock_unpoisoned(&self.signal));
         self.bell.notify_one();
     }
 
     /// Pop own work (LIFO), else steal oldest work from a sibling (FIFO).
     fn find_task(&self, me: usize) -> Option<Task> {
-        if let Some(task) = self.deques[me].lock().unwrap().pop_back() {
+        if let Some(task) = lock_unpoisoned(&self.deques[me]).pop_back() {
             return Some(task);
         }
         let n = self.deques.len();
-        (1..n).find_map(|step| self.deques[(me + step) % n].lock().unwrap().pop_front())
+        (1..n).find_map(|step| lock_unpoisoned(&self.deques[(me + step) % n]).pop_front())
     }
 
     fn worker_loop(&self, me: usize) {
@@ -77,7 +80,7 @@ impl PoolShared {
             while let Some(task) = self.find_task(me) {
                 task();
             }
-            let guard = self.signal.lock().unwrap();
+            let guard = lock_unpoisoned(&self.signal);
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
@@ -89,7 +92,7 @@ impl PoolShared {
                 task();
                 continue;
             }
-            drop(self.bell.wait(guard).unwrap());
+            drop(wait_unpoisoned(&self.bell, guard));
         }
     }
 }
@@ -132,6 +135,9 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("divtopk-pool-{me}"))
                     .spawn(move || shared.worker_loop(me))
+                    // LINT-ALLOW(panic): thread spawn fails only on OS
+                    // resource exhaustion at pool construction, before any
+                    // query is in flight — fail fast, nothing to degrade.
                     .expect("spawn pool worker")
             })
             .collect();
@@ -166,7 +172,7 @@ impl WorkerPool {
         match result {
             Err(payload) => resume_unwind(payload),
             Ok(value) => {
-                if let Some(payload) = scope.state.panic.lock().unwrap().take() {
+                if let Some(payload) = lock_unpoisoned(&scope.state.panic).take() {
                     resume_unwind(payload);
                 }
                 value
@@ -178,7 +184,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let _guard = self.shared.signal.lock().unwrap();
+            let _guard = lock_unpoisoned(&self.shared.signal);
             self.shared.shutdown.store(true, Ordering::Release);
         }
         self.shared.bell.notify_all();
@@ -196,9 +202,9 @@ struct ScopeState {
 
 impl ScopeState {
     fn wait_all(&self) {
-        let mut remaining = self.remaining.lock().unwrap();
+        let mut remaining = lock_unpoisoned(&self.remaining);
         while *remaining > 0 {
-            remaining = self.done.wait(remaining).unwrap();
+            remaining = wait_unpoisoned(&self.done, remaining);
         }
     }
 }
@@ -222,16 +228,16 @@ impl<'scope> Scope<'scope, '_> {
     where
         F: FnOnce() + Send + 'scope,
     {
-        *self.state.remaining.lock().unwrap() += 1;
+        *lock_unpoisoned(&self.state.remaining) += 1;
         let state = Arc::clone(&self.state);
         let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                let mut slot = state.panic.lock().unwrap();
+                let mut slot = lock_unpoisoned(&state.panic);
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
             }
-            let mut remaining = state.remaining.lock().unwrap();
+            let mut remaining = lock_unpoisoned(&state.remaining);
             *remaining -= 1;
             if *remaining == 0 {
                 state.done.notify_all();

@@ -38,6 +38,7 @@
 
 use crate::pool::Scope;
 use crate::sources::{ResultSource, Scored, UnseenBound};
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -73,7 +74,7 @@ impl<S: ResultSource> Feed<S> {
     /// (returns) on a full queue and exits on cancellation/exhaustion.
     fn pump(self: &Arc<Self>) {
         loop {
-            let mut state = self.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.state);
             if state.cancelled {
                 state.source = None;
                 state.closed = true;
@@ -95,7 +96,7 @@ impl<S: ResultSource> Feed<S> {
             drop(state);
             let next = source.next_result();
             let bound = source.unseen_bound();
-            let mut state = self.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.state);
             match next {
                 Some(result) => {
                     state.queue.push_back((result, bound));
@@ -170,7 +171,7 @@ where
     type Item = S::Item;
 
     fn next_result(&mut self) -> Option<Scored<S::Item>> {
-        let mut state = self.feed.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.feed.state);
         loop {
             if let Some((result, bound)) = state.queue.pop_front() {
                 // The pop made room; a parked producer can run again.
@@ -186,7 +187,7 @@ where
             if state.closed {
                 return None;
             }
-            state = self.feed.ready.wait(state).unwrap();
+            state = wait_unpoisoned(&self.feed.ready, state);
         }
     }
 
@@ -197,7 +198,7 @@ where
 
 impl<S: ResultSource> Drop for PrefetchedSource<'_, '_, S> {
     fn drop(&mut self) {
-        let mut state = self.feed.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.feed.state);
         state.cancelled = true;
         if state.parked {
             // No task is in flight for a parked feed — finalize inline.

@@ -1,0 +1,128 @@
+//! Poison-tolerant lock helpers — the workspace's one documented answer
+//! to `std::sync` poisoning (DESIGN.md §13).
+//!
+//! ## Policy: poisoning is ignored, deliberately
+//!
+//! A `std` lock poisons when a thread panics while holding it, and every
+//! subsequent `lock()` returns `Err(PoisonError)` carrying the perfectly
+//! usable guard. The poison bit is a *heuristic* ("a critical section
+//! died mid-write; the data may be torn"), not a soundness fence. This
+//! workspace converts that heuristic into a concrete, checkable policy:
+//!
+//! 1. **Critical sections are panic-free by construction.** The
+//!    `divtopk-lint` `panic` rule forbids `unwrap`/`expect`/`panic!` in
+//!    every serving-path module, so the code that runs while holding a
+//!    serving lock has no panic sites of its own (the only residual
+//!    sources are allocator aborts, which never unwind and therefore
+//!    never poison).
+//! 2. **Lock-held state transitions are small and total.** The pool,
+//!    prefetch, server, and single-flight protocols mutate a handful of
+//!    plain fields under their locks (queue push/pop, flag flips,
+//!    counter bumps) — each is a single assignment that cannot be
+//!    observed half-done by the next holder.
+//!
+//! Under those two invariants a poisoned lock can only mean "a *test*
+//! or caller-supplied closure panicked on another thread", and the
+//! right behavior for the serving path is to keep serving, not to
+//! propagate a second panic out of an unrelated worker. Hence: every
+//! serving-path lock acquisition goes through these helpers, which
+//! strip the poison bit and return the guard. Bare `.lock().unwrap()`
+//! is banned by the linter — the point is not the four saved
+//! characters, it is that grepping `sync::` finds every place the
+//! policy applies, and this module is the one place the argument lives.
+//!
+//! (The engine's `InflightClaim` drop guard has used exactly this
+//! pattern inline since it was introduced — a claim *must* be released
+//! even while unwinding from a panicking worker, or every waiter on the
+//! key would hang. These helpers generalize that precedent.)
+
+use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock};
+
+/// Strips the poison bit off any `std::sync` lock result and returns
+/// the guard. See the module docs for why this is sound here.
+#[inline]
+pub fn unpoisoned<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `mutex.lock()` that tolerates poisoning (never panics, never blocks
+/// differently from `lock()` itself).
+#[inline]
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    unpoisoned(mutex.lock())
+}
+
+/// `rwlock.read()` that tolerates poisoning.
+#[inline]
+pub fn read_unpoisoned<T>(rwlock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    unpoisoned(rwlock.read())
+}
+
+/// `rwlock.write()` that tolerates poisoning.
+#[inline]
+pub fn write_unpoisoned<T>(rwlock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    unpoisoned(rwlock.write())
+}
+
+/// `condvar.wait(guard)` that tolerates poisoning. Spurious wakeups are
+/// still possible, as with the underlying wait — callers loop on their
+/// predicate exactly as before.
+#[inline]
+pub fn wait_unpoisoned<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    unpoisoned(condvar.wait(guard))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn lock_unpoisoned_recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[test]
+    fn rwlock_helpers_recover_a_poisoned_rwlock() {
+        let l = Arc::new(RwLock::new(1u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read_unpoisoned(&l), 1);
+        *write_unpoisoned(&l) = 2;
+        assert_eq!(*read_unpoisoned(&l), 2);
+    }
+
+    #[test]
+    fn wait_unpoisoned_wakes_like_wait() {
+        use std::sync::Condvar;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut flagged = lock_unpoisoned(m);
+            while !*flagged {
+                flagged = wait_unpoisoned(cv, flagged);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *lock_unpoisoned(m) = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

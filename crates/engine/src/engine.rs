@@ -39,6 +39,9 @@
 //! convoys the rest of the batch behind it.
 
 use crate::cache::{CacheStats, LruCache};
+use divtopk_core::sync::{
+    self, lock_unpoisoned, read_unpoisoned, wait_unpoisoned, write_unpoisoned,
+};
 use divtopk_core::{SearchError, WorkerPool};
 use divtopk_text::corpus::Corpus;
 use divtopk_text::document::{DocId, Document, TermId};
@@ -301,7 +304,7 @@ impl Engine {
     /// (and internally consistent) no matter how many mutations land
     /// afterwards.
     fn pin(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.read().unwrap())
+        Arc::clone(&read_unpoisoned(&self.snapshot))
     }
 
     /// The corpus view of the current snapshot (all documents ever added,
@@ -329,7 +332,7 @@ impl Engine {
     /// Installs a mutated index as the next generation. Callers must hold
     /// the writer lock.
     fn install(&self, generation: u64, index: SegmentedIndex) {
-        *self.snapshot.write().unwrap() = Arc::new(Snapshot { generation, index });
+        *write_unpoisoned(&self.snapshot) = Arc::new(Snapshot { generation, index });
     }
 
     /// Appends `docs` as one new immutable segment and publishes a new
@@ -342,7 +345,7 @@ impl Engine {
     /// Panics if a document references a term outside the frozen
     /// vocabulary (the statistics epoch cannot grow mid-flight).
     pub fn add_docs(&self, docs: Vec<Document>) -> Range<DocId> {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = lock_unpoisoned(&self.writer);
         let current = self.pin();
         if docs.is_empty() {
             let n = current.index.num_docs() as DocId;
@@ -358,7 +361,7 @@ impl Engine {
     /// out-of-vocabulary terms dropped) and adds it as a one-document
     /// segment. Returns the new doc id.
     pub fn add_text(&self, title: &str, text: &str) -> DocId {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = lock_unpoisoned(&self.writer);
         let current = self.pin();
         let mut index = current.index.clone();
         let id = index.add_text(title, text);
@@ -373,7 +376,7 @@ impl Engine {
     /// # Panics
     /// Panics on a doc id that was never allocated.
     pub fn delete_docs(&self, docs: &[DocId]) -> usize {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = lock_unpoisoned(&self.writer);
         let current = self.pin();
         let mut index = current.index.clone();
         let deleted = index.delete_docs(docs);
@@ -388,7 +391,7 @@ impl Engine {
     /// generation if anything merged. Returns the number of segments
     /// merged away (0 = nothing to do).
     pub fn compact(&self) -> usize {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = lock_unpoisoned(&self.writer);
         let current = self.pin();
         let mut index = current.index.clone();
         let merged = index.compact();
@@ -444,7 +447,7 @@ impl Engine {
     /// counter than the live engine. A corrupt or unreadable snapshot is
     /// a typed [`SnapshotError`] and leaves the serving state untouched.
     pub fn reload_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = lock_unpoisoned(&self.writer);
         let (index, loaded) = persist::load_segmented(path)?;
         let generation = loaded.max(self.pin().generation + 1);
         self.install(generation, index);
@@ -483,9 +486,13 @@ impl Engine {
             snap.index.validate_terms(terms)
         });
         if let Err(e) = admission {
+            // RELAXED: monotonic stats counters — read only by `stats()`
+            // snapshots, which tolerate any interleaving; nothing is
+            // published or acquired through them.
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        // RELAXED: same — monotonic stats counter.
         self.queries.fetch_add(1, Ordering::Relaxed);
         if self.cache_capacity == 0 {
             // Caching disabled: no store to single-flight against (and no
@@ -500,8 +507,8 @@ impl Engine {
             // this caller should compute. (Lock order is always
             // inflight→cache; the insert/remove paths hold one at a
             // time, so there is no inversion.)
-            let mut inflight = self.inflight.lock().unwrap();
-            if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            let mut inflight = lock_unpoisoned(&self.inflight);
+            if let Some(hit) = lock_unpoisoned(&self.cache).get(&key) {
                 return Ok(hit.clone());
             }
             if !inflight.contains(&key) {
@@ -510,7 +517,7 @@ impl Engine {
             }
             // Another caller is computing this key: wait for it to finish
             // (it inserts into the cache before waking us), then re-check.
-            drop(self.inflight_done.wait(inflight).unwrap());
+            drop(wait_unpoisoned(&self.inflight_done, inflight));
         }
         // Releases the inflight claim and wakes waiters on every exit
         // path — including a panic inside `execute` (a leaked key would
@@ -523,10 +530,7 @@ impl Engine {
         }
         impl Drop for InflightClaim<'_> {
             fn drop(&mut self) {
-                let mut inflight = self
-                    .inflight
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                let mut inflight = lock_unpoisoned(self.inflight);
                 inflight.remove(self.key);
                 self.done.notify_all();
             }
@@ -540,7 +544,7 @@ impl Engine {
         // the serving tier (cache mutex) nor unrelated misses (inflight).
         let result = self.execute(&snap, query, options);
         if let Ok(out) = &result {
-            self.cache.lock().unwrap().insert(key.clone(), out.clone());
+            lock_unpoisoned(&self.cache).insert(key.clone(), out.clone());
         }
         // The claim drops here — strictly after the cache insert, so a
         // woken waiter always finds the entry.
@@ -568,9 +572,13 @@ impl Engine {
             snap.index.validate_terms(terms)
         });
         if let Err(e) = admission {
+            // RELAXED: monotonic stats counters — read only by `stats()`
+            // snapshots, which tolerate any interleaving; nothing is
+            // published or acquired through them.
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        // RELAXED: same — monotonic stats counter.
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.execute(&snap, query, options)
     }
@@ -585,6 +593,7 @@ impl Engine {
         &self,
         batch: &[(Query, SearchOptions)],
     ) -> Vec<Result<SearchOutput, SearchError>> {
+        // RELAXED: monotonic stats counter (see `stats()`).
         self.batches.fetch_add(1, Ordering::Relaxed);
         let workers = self.threads.min(batch.len()).max(1);
         if workers == 1 {
@@ -600,11 +609,14 @@ impl Engine {
             for _ in 0..workers {
                 scope.spawn(|| {
                     loop {
+                        // RELAXED: the counter only claims distinct
+                        // indices; slot writes are ordered by each slot's
+                        // own mutex, and scope join publishes everything.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some((query, options)) = batch.get(i) else {
                             break;
                         };
-                        *slots[i].lock().unwrap() = Some(self.search(query, options));
+                        *lock_unpoisoned(&slots[i]) = Some(self.search(query, options));
                     }
                 });
             }
@@ -612,9 +624,10 @@ impl Engine {
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("every batch slot is filled by a worker")
+                // LINT-ALLOW(panic): the scope above joins every worker, and
+                // the cursor hands each index to exactly one of them — an
+                // empty slot here is a structural bug, not a runtime state.
+                sync::unpoisoned(slot.into_inner()).expect("every batch slot is filled by a worker")
             })
             .collect()
     }
@@ -624,9 +637,12 @@ impl Engine {
     /// compactions).
     pub fn stats(&self) -> EngineStats {
         let snap = self.pin();
-        let cache = self.cache.lock().unwrap();
+        let cache = lock_unpoisoned(&self.cache);
         let cache_stats: CacheStats = cache.stats();
         EngineStats {
+            // RELAXED: stats snapshot — each counter is independently
+            // monotonic; a torn multi-counter view is acceptable by the
+            // method's contract (diagnostics, not invariants).
             queries: self.queries.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -639,6 +655,7 @@ impl Engine {
             segments: snap.index.num_segments(),
             tombstones: snap.index.tombstones(),
             compactions: snap.index.compactions(),
+            // RELAXED: as above — diagnostics-only counter snapshot.
             parallel_pulls: self.parallel_pulls.load(Ordering::Relaxed),
         }
     }
@@ -655,6 +672,7 @@ impl Engine {
         // segments to overlap and a pool to run them on.
         if let Some(pool) = &self.pool {
             if snap.index.num_segments() > 1 {
+                // RELAXED: monotonic stats counter (see `stats()`).
                 self.parallel_pulls.fetch_add(1, Ordering::Relaxed);
                 return match query {
                     Query::Scan(term) => snap.index.search_scan_pooled(*term, options, pool),

@@ -68,6 +68,9 @@ impl LatencyHistogram {
 
     /// Records one latency. Wait-free; safe from any thread.
     pub fn record(&self, ns: u64) {
+        // RELAXED: independent monotonic counters; readers (`quantile_ns`,
+        // `mean_ns`) are documented to tolerate torn snapshots — the
+        // histogram is a monitoring surface, not a synchronization point.
         self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
@@ -75,12 +78,14 @@ impl LatencyHistogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // RELAXED: monitoring read — see `record`.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Mean latency in ns (0 when empty).
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns
+            // RELAXED: monitoring read — see `record`.
             .load(Ordering::Relaxed)
             .checked_div(self.count())
             .unwrap_or(0)
@@ -96,6 +101,7 @@ impl LatencyHistogram {
         let mut counts = vec![0u64; Self::NUM_BUCKETS];
         let mut total = 0u64;
         for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            // RELAXED: monitoring read — see `record`.
             *slot = bucket.load(Ordering::Relaxed);
             total += *slot;
         }

@@ -53,6 +53,10 @@
 //! assert_eq!(engine.stats().generation, 1);
 //! ```
 
+// This crate is pure safe Rust; keep it that way. The workspace's only
+// unsafe lives in divtopk-core's scoped pool and the bench allocator,
+// each behind a SAFETY argument checked by divtopk-lint.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

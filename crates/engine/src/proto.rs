@@ -360,14 +360,18 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ProtoError> {
+        // LINT-ALLOW(panic): take(2) returned exactly 2 bytes, so the
+        // slice-to-array conversion is infallible (same for u32/u64).
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
+        // LINT-ALLOW(panic): infallible — see `u16`.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
+        // LINT-ALLOW(panic): infallible — see `u16`.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 

@@ -29,6 +29,7 @@ use crate::histogram::LatencyHistogram;
 use crate::proto::{
     self, ErrorCode, ProtoError, Request, Response, StatsReport, WireHits, decode_algorithm,
 };
+use divtopk_core::sync::{lock_unpoisoned, wait_unpoisoned};
 use divtopk_text::search::{SearchOptions, SearchOutput};
 use std::collections::VecDeque;
 use std::io::BufReader;
@@ -88,17 +89,17 @@ struct ResponseSlot {
 
 impl ResponseSlot {
     fn fill(&self, value: Result<(SearchOutput, u64), String>) {
-        *self.result.lock().unwrap() = Some(value);
+        *lock_unpoisoned(&self.result) = Some(value);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<(SearchOutput, u64), String> {
-        let mut guard = self.result.lock().unwrap();
+        let mut guard = lock_unpoisoned(&self.result);
         loop {
             if let Some(value) = guard.take() {
                 return value;
             }
-            guard = self.ready.wait(guard).unwrap();
+            guard = wait_unpoisoned(&self.ready, guard);
         }
     }
 }
@@ -120,7 +121,7 @@ impl ServerShared {
     /// can answer `Overloaded` on its stream — hence the large variant.
     #[allow(clippy::result_large_err)]
     fn try_enqueue(&self, job: SearchJob) -> Result<(), SearchJob> {
-        let mut queue = self.queue.lock().unwrap();
+        let mut queue = lock_unpoisoned(&self.queue);
         if self.shutdown.load(Ordering::Acquire) || queue.len() >= self.queue_capacity {
             return Err(job);
         }
@@ -133,7 +134,7 @@ impl ServerShared {
     fn worker_loop(&self) {
         loop {
             let job = {
-                let mut queue = self.queue.lock().unwrap();
+                let mut queue = lock_unpoisoned(&self.queue);
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break job;
@@ -141,7 +142,7 @@ impl ServerShared {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    queue = self.queue_ready.wait(queue).unwrap();
+                    queue = wait_unpoisoned(&self.queue_ready, queue);
                 }
             };
             let generation = self.engine.generation();
@@ -172,6 +173,8 @@ impl ServerShared {
             cache_misses: engine.cache_misses,
             tombstones: engine.tombstones as u64,
             parallel_pulls: engine.parallel_pulls,
+            // RELAXED: diagnostics-only counter snapshot — each counter
+            // is monotonic and a torn multi-counter view is fine.
             requests: self.metrics.requests.load(Ordering::Relaxed),
             overloaded: self.metrics.overloaded.load(Ordering::Relaxed),
             protocol_errors: self.metrics.protocol_errors.load(Ordering::Relaxed),
@@ -205,6 +208,7 @@ impl ServerShared {
                 Ok(Some(frame)) => frame,
                 Ok(None) => return, // clean close
                 Err(error) => {
+                    // RELAXED: monotonic metrics counter (see stats_report).
                     self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     // Best-effort typed report; the stream may be gone.
                     let _ = proto::write_frame(
@@ -221,12 +225,14 @@ impl ServerShared {
             };
             let response = match proto::decode_request(&frame) {
                 Ok(request) => {
+                    // RELAXED: monotonic metrics counter (see stats_report).
                     self.metrics.requests.fetch_add(1, Ordering::Relaxed);
                     self.handle(request)
                 }
                 Err(error) => {
                     // The frame boundary held; only this message was bad.
                     // Report and keep serving the connection.
+                    // RELAXED: monotonic metrics counter (see stats_report).
                     self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     Response::Error {
                         code: ErrorCode::Protocol,
@@ -236,6 +242,10 @@ impl ServerShared {
             };
             if let Err(error) = proto::write_frame(writer, &proto::encode_response(&response)) {
                 if !matches!(error, ProtoError::Io(_)) {
+                    // LINT-ALLOW(panic): encode_response produced the frame,
+                    // so every non-I/O write error (oversize, truncation) is
+                    // impossible by construction; reaching this arm means the
+                    // framing layer itself is broken — a bug, not a state.
                     unreachable!("frame writes only fail on I/O");
                 }
                 return;
@@ -282,6 +292,7 @@ impl ServerShared {
                     slot: Arc::clone(&slot),
                 };
                 if self.try_enqueue(job).is_err() {
+                    // RELAXED: monotonic metrics counter (see stats_report).
                     self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
                     return Response::Overloaded {
                         queue_capacity: self.queue_capacity as u32,
@@ -351,6 +362,9 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("divtopk-search-{i}"))
                     .spawn(move || shared.worker_loop())
+                    // LINT-ALLOW(panic): worker threads spawn once at server
+                    // construction, before any request is accepted — fail
+                    // fast on OS resource exhaustion.
                     .expect("spawn search worker"),
             );
         }
@@ -371,12 +385,13 @@ impl Server {
                         let Ok(tracked) = stream.try_clone() else {
                             continue;
                         };
+                        // RELAXED: monotonic metrics counter.
                         acceptor_shared
                             .metrics
                             .connections
                             .fetch_add(1, Ordering::Relaxed);
                         {
-                            let mut connections = acceptor_shared.connections.lock().unwrap();
+                            let mut connections = lock_unpoisoned(&acceptor_shared.connections);
                             // Prune finished connections opportunistically
                             // so a long-lived server doesn't hoard fds.
                             connections.retain(|c| c.take_error().is_ok() && peer_alive(c));
@@ -387,6 +402,10 @@ impl Server {
                             std::thread::Builder::new()
                                 .name("divtopk-conn".to_owned())
                                 .spawn(move || conn_shared.serve_connection(stream))
+                                // LINT-ALLOW(panic): see "spawn search worker"
+                                // above — accept-time resource exhaustion is a
+                                // fatal configuration problem, not a request
+                                // error this connection could report.
                                 .expect("spawn connection thread"),
                         );
                     }
@@ -394,6 +413,7 @@ impl Server {
                         let _ = thread.join();
                     }
                 })
+                // LINT-ALLOW(panic): as for the worker spawns above.
                 .expect("spawn acceptor"),
         );
         Ok(Server {
@@ -426,7 +446,7 @@ impl Server {
         // and exit.
         self.shared.queue_ready.notify_all();
         // Unblock connection reads.
-        for stream in self.shared.connections.lock().unwrap().drain(..) {
+        for stream in lock_unpoisoned(&self.shared.connections).drain(..) {
             let _ = stream.shutdown(Shutdown::Both);
         }
         // Unblock the acceptor with a wake-up connection.

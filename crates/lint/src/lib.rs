@@ -1,0 +1,31 @@
+//! `divtopk-lint` — in-repo static analysis for the divtopk workspace.
+//!
+//! Two halves (DESIGN.md §13):
+//!
+//! 1. **The invariant linter** ([`rules`], [`scan`], [`walk`]): a
+//!    dependency-free lexer/line-scanner that walks every production
+//!    `.rs` file and enforces the project's concurrency and determinism
+//!    invariants as typed, `file:line`-addressed diagnostics — the prose
+//!    soundness arguments of DESIGN.md §8–§11, machine-checked so they
+//!    survive refactors.
+//! 2. **The interleaving explorer** ([`sched`], [`models`]): a
+//!    loom-style deterministic scheduler that shims `Mutex`, `Condvar`,
+//!    and the atomics, and exhaustively enumerates bounded thread
+//!    interleavings of small models of the repo's three hand-rolled
+//!    concurrency protocols — the pool's lost-wakeup handshake, the
+//!    prefetch park/re-spawn protocol, and the cache's single-flight
+//!    condvar loop — asserting each protocol's DESIGN.md invariant under
+//!    every explored schedule.
+//!
+//! The `lint` binary runs both: `cargo run -p divtopk-lint --bin lint`
+//! (diagnostics, exit 1 on any), `-- --models` (the three models under a
+//! bounded schedule budget).
+
+pub mod models;
+pub mod rules;
+pub mod scan;
+pub mod sched;
+pub mod walk;
+
+pub use rules::{Diagnostic, lint_source};
+pub use walk::lint_workspace;
