@@ -1,12 +1,16 @@
-//! `snapshot` — the CI cross-process persistence gate (DESIGN.md §10).
+//! `snapshot` — the CI cross-process persistence gate (DESIGN.md §14).
 //!
-//! Two subcommands, run by **separate CI jobs** with only the snapshot
-//! file travelling between them as a build artifact:
+//! Three subcommands; `save` and `check` run in **separate CI jobs**
+//! with only the snapshot directory travelling between them as a build
+//! artifact:
 //!
 //! ```text
-//! snapshot save  --out PATH   # build the reference serving state, persist it
-//! snapshot check --in  PATH   # rebuild the same state from scratch, load the
-//!                             # artifact, assert byte-equality of every answer
+//! snapshot save  --out DIR       # build the reference serving state, persist it
+//! snapshot check --in  DIR       # rebuild the same state from scratch, load the
+//!                                # artifact, assert byte-equality of every answer
+//! snapshot incremental --dir DIR # save, mutate, save again; assert the second
+//!                                # checkpoint rewrote only the new segment, the
+//!                                # tail chunk, and the manifest (by content diff)
 //! ```
 //!
 //! Both sides construct the *same deterministic reference state*
@@ -85,14 +89,16 @@ fn reference_queries(corpus: &Corpus) -> Vec<(Query, SearchOptions)> {
 
 fn save(path: &str) {
     let engine = reference_engine();
-    let bytes = engine
+    let report = engine
         .save_snapshot(path)
         .unwrap_or_else(|e| panic!("saving {path}: {e}"));
     eprintln!(
-        "[snapshot save] generation {} · {} segments · {} tombstones → {bytes} bytes at {path}",
+        "[snapshot save] generation {} · {} segments · {} tombstones → {} files, {} bytes at {path}",
         engine.generation(),
         engine.stats().segments,
         engine.stats().tombstones,
+        report.files_written,
+        report.bytes_written,
     );
 }
 
@@ -108,6 +114,10 @@ fn check(path: &str) {
     let (l, f) = (loaded.stats(), fresh.stats());
     assert_eq!(l.segments, f.segments, "segment count diverged");
     assert_eq!(l.tombstones, f.tombstones, "tombstone count diverged");
+    assert!(
+        l.layout_from_snapshot && !f.layout_from_snapshot,
+        "layout provenance must distinguish loaded from built engines"
+    );
     loaded
         .verify_rebuild_equivalence()
         .expect("loaded state failed the rebuild-equivalence oracle");
@@ -131,13 +141,118 @@ fn check(path: &str) {
     );
 }
 
+/// Every file in the snapshot directory, by name → content bytes. The
+/// directory is small (the reference state is ~1 MB), so a full read is
+/// the simplest honest way to detect rewrites.
+fn dir_contents(path: &str) -> std::collections::BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(path)
+        .unwrap_or_else(|e| panic!("reading {path}: {e}"))
+        .map(|entry| {
+            let entry = entry.expect("directory entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path()).expect("snapshot file");
+            (name, bytes)
+        })
+        .collect()
+}
+
+/// The incremental-checkpoint gate: after one mutation batch, the second
+/// save must rewrite **only** the manifest and the (unsealed) tail
+/// chunk, and add **only** the batch's new segment file — every other
+/// file must be byte-identical on disk. This pins the O(delta) claim at
+/// the file-system level, not just via `SaveReport`'s own accounting.
+fn incremental(path: &str) {
+    let _ = std::fs::remove_dir_all(path);
+    let engine = reference_engine();
+    let first = engine
+        .save_snapshot(path)
+        .unwrap_or_else(|e| panic!("saving {path}: {e}"));
+    let before = dir_contents(path);
+
+    let n_terms = engine.corpus().num_terms() as TermId;
+    let batch: Vec<Document> = (0..10u32)
+        .map(|i| {
+            Document::from_tokens(
+                format!("inc{i}"),
+                vec![i % n_terms, (i * 3 + 1) % n_terms, (i * 7 + 2) % n_terms],
+            )
+        })
+        .collect();
+    engine.add_docs(batch);
+    engine.delete_docs(&[2, 5]);
+    let second = engine
+        .save_snapshot(path)
+        .unwrap_or_else(|e| panic!("re-saving {path}: {e}"));
+    let after = dir_contents(path);
+
+    let mut rewritten: Vec<&str> = Vec::new();
+    let mut added: Vec<&str> = Vec::new();
+    for (name, bytes) in &after {
+        match before.get(name) {
+            None => added.push(name),
+            Some(old) if old != bytes => rewritten.push(name),
+            Some(_) => {}
+        }
+    }
+    let tail_chunk = before
+        .keys()
+        .filter(|n| n.starts_with("docs-"))
+        .max()
+        .cloned()
+        .expect("reference snapshot has a document chunk");
+    for name in &rewritten {
+        assert!(
+            *name == "MANIFEST" || **name == tail_chunk,
+            "incremental save rewrote {name}, expected only MANIFEST and {tail_chunk}"
+        );
+    }
+    for name in &added {
+        assert!(
+            name.starts_with("seg-") && name.ends_with(".bin"),
+            "incremental save added unexpected file {name}"
+        );
+    }
+    assert_eq!(added.len(), 1, "one mutation batch must add one segment");
+    let unchanged = after.len() - rewritten.len() - added.len();
+    assert!(
+        unchanged >= 3,
+        "epoch and prior segments must survive untouched (only {unchanged} unchanged)"
+    );
+    assert_eq!(
+        second.files_written,
+        rewritten.len() + added.len(),
+        "SaveReport accounting disagrees with the on-disk diff"
+    );
+    assert!(
+        second.bytes_written * 2 < first.bytes_written,
+        "incremental checkpoint wrote {} of {} initial bytes — not O(delta)",
+        second.bytes_written,
+        first.bytes_written
+    );
+
+    let loaded = Engine::load_snapshot(path, &EngineConfig::default())
+        .unwrap_or_else(|e| panic!("loading {path}: {e}"));
+    assert_eq!(loaded.generation(), engine.generation());
+    loaded
+        .verify_rebuild_equivalence()
+        .expect("incrementally-checkpointed state failed the rebuild oracle");
+    eprintln!(
+        "[snapshot incremental] {path}: rewrote {:?}, added {:?}, {unchanged} files untouched \
+         ({} of {} bytes) ✓",
+        rewritten, added, second.bytes_written, first.bytes_written
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, flag, path] if cmd == "save" && flag == "--out" => save(path),
         [cmd, flag, path] if cmd == "check" && flag == "--in" => check(path),
+        [cmd, flag, path] if cmd == "incremental" && flag == "--dir" => incremental(path),
         _ => {
-            eprintln!("usage: snapshot save --out PATH | snapshot check --in PATH");
+            eprintln!(
+                "usage: snapshot save --out DIR | snapshot check --in DIR | snapshot incremental --dir DIR"
+            );
             std::process::exit(2);
         }
     }

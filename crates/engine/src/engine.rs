@@ -45,14 +45,14 @@ use divtopk_core::sync::{
 use divtopk_core::{SearchError, WorkerPool};
 use divtopk_text::corpus::Corpus;
 use divtopk_text::document::{DocId, Document, TermId};
-use divtopk_text::persist::{self, SnapshotError};
+use divtopk_text::persist::{self, SaveReport, SnapshotError};
 use divtopk_text::query::KeywordQuery;
 use divtopk_text::search::{SearchOptions, SearchOutput};
 use divtopk_text::segments::SegmentedIndex;
 use std::collections::HashSet;
 use std::ops::Range;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Engine deployment configuration.
@@ -216,6 +216,16 @@ pub struct EngineStats {
     /// configured; single-segment queries take the sequential path —
     /// there is nothing to overlap).
     pub parallel_pulls: u64,
+    /// What [`EngineConfig::shards`] asked for at construction time.
+    /// Compare with [`EngineStats::segments`] and
+    /// [`EngineStats::layout_from_snapshot`] to see whether the request
+    /// took effect: a snapshot's layout always wins (see
+    /// [`Engine::load_snapshot`]).
+    pub configured_shards: usize,
+    /// True when the serving segment layout came from a snapshot
+    /// ([`Engine::load_snapshot`] or [`Engine::reload_snapshot`]) rather
+    /// than from partitioning a corpus by `config.shards`.
+    pub layout_from_snapshot: bool,
 }
 
 /// One immutable serving epoch: a generation number and the segmented
@@ -249,6 +259,14 @@ pub struct Engine {
     rejected: AtomicU64,
     batches: AtomicU64,
     parallel_pulls: AtomicU64,
+    /// What `config.shards` asked for — surfaced via [`Engine::stats`]
+    /// so a snapshot-loaded engine can't silently masquerade as a
+    /// `config.shards`-partitioned one.
+    configured_shards: usize,
+    /// True once the serving layout came from a snapshot (construction
+    /// via [`Engine::load_snapshot`], or any later
+    /// [`Engine::reload_snapshot`]).
+    layout_from_snapshot: AtomicBool,
 }
 
 impl Engine {
@@ -262,13 +280,20 @@ impl Engine {
             SegmentedIndex::build_partitioned(corpus, config.shards),
             0,
             &config,
+            false,
         )
     }
 
     /// Assembles an engine around an existing serving state at a given
     /// generation — the shared path behind [`Engine::new`] and
-    /// [`Engine::load_snapshot`].
-    fn from_state(index: SegmentedIndex, generation: u64, config: &EngineConfig) -> Engine {
+    /// [`Engine::load_snapshot`]. `layout_from_snapshot` records where
+    /// the segment layout came from (surfaced in [`EngineStats`]).
+    fn from_state(
+        index: SegmentedIndex,
+        generation: u64,
+        config: &EngineConfig,
+        layout_from_snapshot: bool,
+    ) -> Engine {
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -297,6 +322,8 @@ impl Engine {
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             parallel_pulls: AtomicU64::new(0),
+            configured_shards: config.shards,
+            layout_from_snapshot: AtomicBool::new(layout_from_snapshot),
         }
     }
 
@@ -404,16 +431,19 @@ impl Engine {
     /// Persists the current serving state — corpus epoch, weight table,
     /// every segment's posting lists (bit-exact via [`f64::to_bits`]),
     /// tombstones, compaction counter, and the snapshot generation — to
-    /// `path` in the checksummed container format of
-    /// [`divtopk_text::persist`] (DESIGN.md §10). Caches and serving
-    /// counters are deliberately not part of the durable state. Returns
-    /// the bytes written.
+    /// the snapshot **directory** `dir` in the segment-granular layout of
+    /// [`divtopk_text::persist`] (DESIGN.md §14). The save is
+    /// incremental: files the directory's previous checkpoint already
+    /// holds (unchanged segments, sealed document chunks, the epoch) are
+    /// reused, so a steady-state checkpoint writes O(what changed) bytes.
+    /// Caches and serving counters are deliberately not part of the
+    /// durable state. Returns the [`SaveReport`] describing the work.
     ///
     /// The save pins one snapshot, so a concurrent mutation can never
-    /// tear the file: what lands on disk is exactly one generation.
-    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+    /// tear the directory: what lands on disk is exactly one generation.
+    pub fn save_snapshot(&self, dir: impl AsRef<Path>) -> Result<SaveReport, SnapshotError> {
         let snap = self.pin();
-        persist::save_segmented(path, &snap.index, snap.generation)
+        persist::save_segmented(dir, &snap.index, snap.generation)
     }
 
     /// Restores an engine from a snapshot written by
@@ -424,15 +454,20 @@ impl Engine {
     /// result cache starts empty and the serving counters start at zero —
     /// they are process state, not index state.
     ///
-    /// `config.shards` is ignored: the segment layout comes from the
-    /// snapshot (cache capacity and worker threads apply as usual).
+    /// **Precedence:** the snapshot's segment layout always wins over
+    /// `config.shards` — the saved segments are restored as-is and the
+    /// corpus is never re-partitioned (cache capacity and worker threads
+    /// apply as usual). The override is not silent: [`Engine::stats`]
+    /// reports both the requested `configured_shards` and
+    /// `layout_from_snapshot = true`, so operators can see that the
+    /// serving layout came from the snapshot directory.
     /// Corrupt input returns a typed [`SnapshotError`], never a panic.
     pub fn load_snapshot(
         path: impl AsRef<Path>,
         config: &EngineConfig,
     ) -> Result<Engine, SnapshotError> {
         let (index, generation) = persist::load_segmented(path)?;
-        Ok(Engine::from_state(index, generation, config))
+        Ok(Engine::from_state(index, generation, config, true))
     }
 
     /// Swaps the serving state to the snapshot at `path` **without
@@ -451,6 +486,9 @@ impl Engine {
         let (index, loaded) = persist::load_segmented(path)?;
         let generation = loaded.max(self.pin().generation + 1);
         self.install(generation, index);
+        // RELAXED: provenance flag — monotonic bool read only by
+        // `stats()`, no ordering with the snapshot swap required.
+        self.layout_from_snapshot.store(true, Ordering::Relaxed);
         Ok(generation)
     }
 
@@ -657,6 +695,9 @@ impl Engine {
             compactions: snap.index.compactions(),
             // RELAXED: as above — diagnostics-only counter snapshot.
             parallel_pulls: self.parallel_pulls.load(Ordering::Relaxed),
+            configured_shards: self.configured_shards,
+            // RELAXED: provenance flag — monotonic bool, diagnostics.
+            layout_from_snapshot: self.layout_from_snapshot.load(Ordering::Relaxed),
         }
     }
 

@@ -190,6 +190,14 @@ pub struct StatsReport {
     pub generation: u64,
     /// Segments in the current snapshot.
     pub segments: u32,
+    /// Shard count the operator *requested* in [`EngineConfig`].
+    ///
+    /// [`EngineConfig`]: crate::engine::EngineConfig
+    pub configured_shards: u32,
+    /// True when the serving layout came from a snapshot rather than
+    /// from partitioning by `configured_shards` — the two fields
+    /// together make the layout-precedence rule observable remotely.
+    pub layout_from_snapshot: bool,
     /// Documents in the corpus view (live + tombstoned).
     pub num_docs: u64,
     /// Frozen vocabulary size — what a load generator needs to
@@ -545,6 +553,8 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             out.push(TAG_STATS_REPORT);
             put_u64(&mut out, s.generation);
             put_u32(&mut out, s.segments);
+            put_u32(&mut out, s.configured_shards);
+            out.push(u8::from(s.layout_from_snapshot));
             put_u64(&mut out, s.num_docs);
             put_u32(&mut out, s.num_terms);
             put_u64(&mut out, s.queries);
@@ -616,6 +626,12 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         TAG_STATS_REPORT => Response::Stats(StatsReport {
             generation: cur.u64()?,
             segments: cur.u32()?,
+            configured_shards: cur.u32()?,
+            layout_from_snapshot: match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtoError::Malformed("layout_from_snapshot is not a bool")),
+            },
             num_docs: cur.u64()?,
             num_terms: cur.u32()?,
             queries: cur.u64()?,
@@ -700,6 +716,8 @@ mod tests {
         roundtrip_response(Response::Stats(StatsReport {
             generation: 1,
             segments: 4,
+            configured_shards: 2,
+            layout_from_snapshot: true,
             num_docs: 4000,
             num_terms: 900,
             queries: 10,

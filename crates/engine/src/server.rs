@@ -165,6 +165,8 @@ impl ServerShared {
         StatsReport {
             generation: engine.generation,
             segments: engine.segments as u32,
+            configured_shards: engine.configured_shards as u32,
+            layout_from_snapshot: engine.layout_from_snapshot,
             num_docs: corpus.num_docs() as u64,
             num_terms: corpus.num_terms() as u32,
             queries: engine.queries,

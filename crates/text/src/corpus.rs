@@ -1,5 +1,6 @@
 //! The document corpus: documents + vocabulary + document frequencies.
 
+use crate::chunked::ChunkedVec;
 use crate::document::{DocId, Document, TermId};
 use crate::stopwords::is_stopword;
 use crate::tokenize::tokenize;
@@ -12,13 +13,15 @@ use std::sync::Arc;
 /// The statistics (vocabulary, df, IDF) live behind [`Arc`]s: they are
 /// immutable after [`CorpusBuilder::build`] — [`Corpus::append_frozen`]
 /// adds documents *without* touching them — so clones share the tables.
-/// This is what makes the live-update path's copy-on-write snapshots
-/// affordable: cloning a corpus epoch pays for the document list only,
-/// never for re-copying a production-sized vocabulary.
+/// The documents themselves live in a [`ChunkedVec`]: fixed-size
+/// `Arc`-shared chunks, so cloning a corpus epoch copies chunk pointers
+/// only and an append batch deep-copies at most the partial tail chunk
+/// (DESIGN.md §14) — never the whole document list, and never a
+/// production-sized vocabulary.
 #[derive(Debug, Clone)]
 pub struct Corpus {
     vocab: Arc<Vocabulary>,
-    docs: Vec<Document>,
+    docs: ChunkedVec<Document>,
     doc_freq: Arc<Vec<u32>>,
     /// `idf(t) = max(0, ln(N / (df(t) + 1)))` — clamped at zero so scores
     /// and Jaccard weights stay non-negative (terms present in almost every
@@ -48,8 +51,15 @@ impl Corpus {
         &self.docs[d as usize]
     }
 
-    /// All documents.
-    pub fn docs(&self) -> &[Document] {
+    /// Iterates all documents in id order.
+    pub fn docs(&self) -> impl Iterator<Item = &Document> {
+        self.docs.iter()
+    }
+
+    /// The chunked document store itself — the snapshot layer persists
+    /// it chunk-by-chunk so sealed chunks can be skipped on incremental
+    /// checkpoints (DESIGN.md §14).
+    pub fn doc_store(&self) -> &ChunkedVec<Document> {
         &self.docs
     }
 
@@ -90,7 +100,7 @@ impl Corpus {
     /// (table sizes, term-id ranges, finite weights).
     pub(crate) fn from_parts(
         vocab: Vocabulary,
-        docs: Vec<Document>,
+        docs: ChunkedVec<Document>,
         doc_freq: Vec<u32>,
         idf: Vec<f64>,
     ) -> Corpus {
@@ -227,7 +237,7 @@ impl CorpusBuilder {
             .collect();
         Corpus {
             vocab: Arc::new(self.vocab),
-            docs: self.docs,
+            docs: self.docs.into_iter().collect(),
             doc_freq: Arc::new(doc_freq),
             idf: Arc::new(idf),
         }

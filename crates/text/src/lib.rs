@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod chunked;
 pub mod corpus;
 pub mod document;
 pub mod index;
@@ -62,6 +63,7 @@ pub mod vocab;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::chunked::{CHUNK, ChunkedVec};
     pub use crate::corpus::{Corpus, CorpusBuilder};
     pub use crate::document::{DocId, Document, TermId};
     pub use crate::index::{InvertedIndex, Posting};
@@ -74,8 +76,8 @@ pub mod prelude {
     pub use crate::query::{KeywordQuery, kfreq_band, query_for_band, representative_terms};
     pub use crate::scan::ScanSource;
     pub use crate::search::{
-        DiversifiedSearcher, Hit, SearchOptions, SearchOutput, doc_weights, search_with_source,
-        validate_terms,
+        DiversifiedSearcher, Hit, SearchOptions, SearchOutput, WeightTable, doc_weights,
+        search_with_source, validate_terms,
     };
     pub use crate::segments::{Segment, SegmentedIndex, Tombstones};
     pub use crate::synth::{SynthConfig, generate, generate_labeled};

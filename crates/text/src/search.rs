@@ -140,23 +140,58 @@ impl SearchOptions {
 /// of a corpus — the serving engine — can share one table across queries.
 pub fn doc_weights(corpus: &Corpus) -> Vec<f64> {
     let idf = corpus.idf_table();
-    corpus.docs().iter().map(|d| total_weight(idf, d)).collect()
+    corpus.docs().map(|d| total_weight(idf, d)).collect()
+}
+
+/// A doc-id-indexed table of per-document total IDF weights — the read
+/// interface [`search_with_source`] needs, abstracted so callers can
+/// hand in either a dense slice ([`doc_weights`]) or the segmented
+/// engine's chunked, COW-shared table
+/// ([`ChunkedVec<f64>`](crate::chunked::ChunkedVec)).
+pub trait WeightTable {
+    /// `W(d)` — the total IDF weight of document `d`. Implementations
+    /// may panic on out-of-range ids; callers index only documents of
+    /// the corpus the table was built from.
+    fn weight(&self, d: DocId) -> f64;
+}
+
+impl WeightTable for [f64] {
+    #[inline]
+    fn weight(&self, d: DocId) -> f64 {
+        self[d as usize]
+    }
+}
+
+impl WeightTable for Vec<f64> {
+    #[inline]
+    fn weight(&self, d: DocId) -> f64 {
+        self[d as usize]
+    }
+}
+
+impl WeightTable for crate::chunked::ChunkedVec<f64> {
+    #[inline]
+    fn weight(&self, d: DocId) -> f64 {
+        self[d as usize]
+    }
 }
 
 /// Runs one diversified search over an arbitrary
 /// [`ResultSource`](divtopk_core::ResultSource) of
 /// documents from `corpus` — the shared execution path behind
 /// [`DiversifiedSearcher`] and the sharded engine's merged sources.
-/// `weights` must be [`doc_weights`] of the same corpus. Validates
-/// `options` at admission.
-pub fn search_with_source<S>(
+/// `weights` must be the [`doc_weights`] table of the same corpus (in
+/// any [`WeightTable`] representation). Validates `options` at
+/// admission.
+pub fn search_with_source<S, W>(
     corpus: &Corpus,
-    weights: &[f64],
+    weights: &W,
     source: S,
     options: &SearchOptions,
 ) -> Result<SearchOutput, SearchError>
 where
     S: divtopk_core::ResultSource<Item = DocId>,
+    W: WeightTable + ?Sized,
 {
     options.validate()?;
     let tau = options.tau;
@@ -169,9 +204,9 @@ where
             && similar_above(
                 corpus.idf_table(),
                 corpus.doc(*a),
-                weights[*a as usize],
+                weights.weight(*a),
                 corpus.doc(*b),
-                weights[*b as usize],
+                weights.weight(*b),
                 tau,
             )
     };

@@ -40,6 +40,7 @@
 //! ([`MergedSource::incremental_filtered`] /
 //! [`MergedSource::bounding_filtered`]), so Lemmas 1–3 apply verbatim.
 
+use crate::chunked::{ChunkedVec, Fnv1a};
 use crate::corpus::Corpus;
 use crate::document::{DocId, Document, TermId};
 use crate::index::{InvertedIndex, Posting};
@@ -99,17 +100,25 @@ impl Tombstones {
         self.len == 0
     }
 
-    /// The raw bitset words, for snapshot serialization
-    /// ([`crate::persist`]).
-    pub(crate) fn words(&self) -> &[u64] {
-        &self.words
+    /// Iterates the tombstoned doc ids in increasing order — the sparse
+    /// form the snapshot manifest stores (O(#deleted) bytes, part of
+    /// keeping checkpoints O(delta); see [`crate::persist`]).
+    pub(crate) fn iter_ids(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |bit| word & (1u64 << bit) != 0)
+                .map(move |bit| (w * 64 + bit) as DocId)
+        })
     }
 
-    /// Reassembles a tombstone set from decoded snapshot words; the count
-    /// is recomputed from the bits, so it can never disagree with them.
-    pub(crate) fn from_words(words: Vec<u64>) -> Tombstones {
-        let len = words.iter().map(|w| w.count_ones() as usize).sum();
-        Tombstones { words, len }
+    /// Reassembles a tombstone set from decoded sparse doc ids (the
+    /// caller has validated order and range).
+    pub(crate) fn from_ids(ids: &[DocId]) -> Tombstones {
+        let mut t = Tombstones::default();
+        for &id in ids {
+            t.insert(id);
+        }
+        t
     }
 }
 
@@ -117,34 +126,57 @@ impl Tombstones {
 /// corpus's documents, disjoint from every other segment's subset.
 #[derive(Debug)]
 pub struct Segment {
+    /// Lineage-unique id, assigned monotonically by the owning
+    /// [`SegmentedIndex`] and never reused — the incremental snapshot
+    /// layer (DESIGN.md §14) keys segment files by it.
+    id: u64,
     index: InvertedIndex,
     /// Distinct documents with at least one posting in this segment —
     /// the segment's size for the tiered compaction policy.
     doc_count: usize,
+    /// FNV-1a over the full posting content — the incremental snapshot
+    /// layer's guard against reusing a stale on-disk segment file whose
+    /// id happens to collide (e.g. across diverged lineages saved into
+    /// the same directory).
+    fingerprint: u64,
 }
 
 impl Segment {
-    pub(crate) fn new(index: InvertedIndex) -> Segment {
+    pub(crate) fn new(id: u64, index: InvertedIndex) -> Segment {
         // Count distinct docs via a bitset over the segment's own id
         // span: O(postings + span/64) instead of collect-sort-dedup —
         // this runs on every add batch and on every segment of a
         // snapshot load. The bitset is offset by the minimum doc id, so
         // a small late batch on a huge corpus (ids all near the top of
-        // the global space) stays O(batch), not O(corpus).
+        // the global space) stays O(batch), not O(corpus). The content
+        // fingerprint rides along in the same pass.
         let mut lo = DocId::MAX;
         let mut hi = 0;
         let mut any = false;
+        let mut h = Fnv1a::new();
         for t in 0..index.num_terms() as TermId {
-            for p in index.postings(t) {
+            let postings = index.postings(t);
+            if postings.is_empty() {
+                continue;
+            }
+            h.write_u32(t);
+            h.write_u64(postings.len() as u64);
+            for p in postings {
                 lo = lo.min(p.doc);
                 hi = hi.max(p.doc);
                 any = true;
+                h.write_u32(p.doc);
+                h.write_u32(p.tf);
+                h.write_u64(p.partial.to_bits());
             }
         }
+        let fingerprint = h.finish();
         if !any {
             return Segment {
+                id,
                 index,
                 doc_count: 0,
+                fingerprint,
             };
         }
         let mut words = vec![0u64; ((hi - lo) as usize + 1).div_ceil(64)];
@@ -155,7 +187,41 @@ impl Segment {
             }
         }
         let doc_count = words.iter().map(|w| w.count_ones() as usize).sum();
-        Segment { index, doc_count }
+        Segment {
+            id,
+            index,
+            doc_count,
+            fingerprint,
+        }
+    }
+
+    /// Reassembles a segment from parts the snapshot layer persisted
+    /// (DESIGN.md §14). The caller vouches for `fingerprint` and
+    /// `doc_count`: the load path checks both against the manifest and
+    /// the whole-file checksum instead of recomputing them here, so a
+    /// cold start makes one pass over the posting bytes, not two.
+    pub(crate) fn from_trusted_parts(
+        id: u64,
+        fingerprint: u64,
+        doc_count: usize,
+        index: InvertedIndex,
+    ) -> Segment {
+        Segment {
+            id,
+            index,
+            doc_count,
+            fingerprint,
+        }
+    }
+
+    /// The segment's lineage-unique id (see the field docs).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// FNV-1a content fingerprint over the posting lists.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The segment's inverted index (global doc ids, frozen statistics).
@@ -187,10 +253,16 @@ pub struct SegmentedIndex {
     corpus: Arc<Corpus>,
     /// Per-document total IDF weight under the frozen epoch (the
     /// similarity prefilter's `W(d)`), extended incrementally on add.
-    weights: Arc<Vec<f64>>,
+    /// Chunked like the document store, so COW clones share sealed
+    /// chunks and an append copies at most the tail chunk.
+    weights: ChunkedVec<f64>,
     segments: Vec<Arc<Segment>>,
     deleted: Tombstones,
     compactions: u64,
+    /// Next segment id to hand out — monotonic, never reused, so every
+    /// segment this lineage ever creates has a distinct id (the
+    /// snapshot layer's file key).
+    next_segment_id: u64,
 }
 
 impl SegmentedIndex {
@@ -211,18 +283,20 @@ impl SegmentedIndex {
         assert!(parts >= 1, "segment partition count must be at least 1");
         let segments = (0..parts)
             .map(|p| {
-                Arc::new(Segment::new(InvertedIndex::build_where(&corpus, |d| {
-                    d as usize % parts == p
-                })))
+                Arc::new(Segment::new(
+                    p as u64,
+                    InvertedIndex::build_where(&corpus, |d| d as usize % parts == p),
+                ))
             })
             .collect();
-        let weights = doc_weights(&corpus);
+        let weights = doc_weights(&corpus).into_iter().collect();
         SegmentedIndex {
             corpus: Arc::new(corpus),
-            weights: Arc::new(weights),
+            weights,
             segments,
             deleted: Tombstones::default(),
             compactions: 0,
+            next_segment_id: parts as u64,
         }
     }
 
@@ -231,10 +305,11 @@ impl SegmentedIndex {
     /// (segment/corpus term-count agreement, posting order, id ranges).
     pub(crate) fn from_parts(
         corpus: Arc<Corpus>,
-        weights: Arc<Vec<f64>>,
+        weights: ChunkedVec<f64>,
         segments: Vec<Arc<Segment>>,
         deleted: Tombstones,
         compactions: u64,
+        next_segment_id: u64,
     ) -> SegmentedIndex {
         SegmentedIndex {
             corpus,
@@ -242,6 +317,7 @@ impl SegmentedIndex {
             segments,
             deleted,
             compactions,
+            next_segment_id,
         }
     }
 
@@ -264,9 +340,16 @@ impl SegmentedIndex {
         Arc::clone(&self.corpus)
     }
 
-    /// Per-document total IDF weights under the frozen epoch.
-    pub fn weights(&self) -> &[f64] {
+    /// Per-document total IDF weights under the frozen epoch, in the
+    /// chunked COW representation (a [`crate::search::WeightTable`]).
+    pub fn weights(&self) -> &ChunkedVec<f64> {
         &self.weights
+    }
+
+    /// The next segment id this lineage would assign (monotonic; also
+    /// an upper bound on every existing segment's id).
+    pub fn next_segment_id(&self) -> u64 {
+        self.next_segment_id
     }
 
     /// The current segments, oldest first.
@@ -310,11 +393,13 @@ impl SegmentedIndex {
     /// range. An empty batch is a no-op.
     ///
     /// Copy-on-write cost: when clones of this index are alive (the
-    /// serving engine's snapshots), the *document list* is deep-copied
-    /// once per add batch — statistics, weights before the append point,
-    /// and all segments stay `Arc`-shared. Deletes and compactions never
-    /// touch the document list. (A chunked `Arc` doc store that makes
-    /// adds pointer-copies too is the known next step — DESIGN.md §9.)
+    /// serving engine's snapshots), an add batch deep-copies at most the
+    /// *tail chunk* of the document store and of the weight table
+    /// (≤ [`crate::chunked::CHUNK`] entries each) — statistics, sealed
+    /// chunks, and all segments stay `Arc`-shared, so the batch cost is
+    /// O(batch), independent of corpus size (DESIGN.md §14; this closes
+    /// the old §9 O(corpus) caveat). Deletes and compactions never touch
+    /// the document list.
     ///
     /// # Panics
     /// Panics if a document references a term outside the frozen
@@ -324,16 +409,24 @@ impl SegmentedIndex {
             let n = self.corpus.num_docs() as DocId;
             return n..n;
         }
+        let id = self.alloc_segment_id();
         let corpus = Arc::make_mut(&mut self.corpus);
         let range = corpus.append_frozen(docs);
         let corpus: &Corpus = corpus;
-        let weights = Arc::make_mut(&mut self.weights);
         for d in range.clone() {
-            weights.push(total_weight(corpus.idf_table(), corpus.doc(d)));
+            self.weights
+                .push(total_weight(corpus.idf_table(), corpus.doc(d)));
         }
-        let segment = Segment::new(InvertedIndex::build_range(corpus, range.clone()));
+        let segment = Segment::new(id, InvertedIndex::build_range(corpus, range.clone()));
         self.segments.push(Arc::new(segment));
         range
+    }
+
+    /// Hands out the next lineage-unique segment id.
+    fn alloc_segment_id(&mut self) -> u64 {
+        let id = self.next_segment_id;
+        self.next_segment_id += 1;
+        id
     }
 
     /// Tokenizes `text` against the frozen vocabulary (stop words and
@@ -391,7 +484,8 @@ impl SegmentedIndex {
             by_tier.entry(segment.tier()).or_default().push(i);
         }
         if let Some(group) = by_tier.into_values().find(|v| v.len() >= 2) {
-            let merged = self.merge_segments(&group);
+            let id = self.alloc_segment_id();
+            let merged = self.merge_segments(id, &group);
             self.segments[group[0]] = Arc::new(merged);
             for &i in group.iter().skip(1).rev() {
                 self.segments.remove(i);
@@ -406,7 +500,8 @@ impl SegmentedIndex {
         let Some(i) = rewrite else {
             return 0;
         };
-        let rewritten = self.merge_segments(&[i]);
+        let id = self.alloc_segment_id();
+        let rewritten = self.merge_segments(id, &[i]);
         self.segments[i] = Arc::new(rewritten);
         self.compactions += 1;
         1
@@ -426,8 +521,8 @@ impl SegmentedIndex {
     }
 
     /// Merges the posting lists of `self.segments[indices]` into one
-    /// segment, dropping tombstoned docs.
-    fn merge_segments(&self, indices: &[usize]) -> Segment {
+    /// segment (with the given fresh id), dropping tombstoned docs.
+    fn merge_segments(&self, id: u64, indices: &[usize]) -> Segment {
         let num_terms = self.corpus.num_terms();
         let mut lists: Vec<Vec<Posting>> = Vec::with_capacity(num_terms);
         for t in 0..num_terms as TermId {
@@ -440,7 +535,7 @@ impl SegmentedIndex {
             merged.sort_unstable_by(InvertedIndex::posting_order);
             lists.push(merged);
         }
-        Segment::new(InvertedIndex::from_sorted_lists(lists))
+        Segment::new(id, InvertedIndex::from_sorted_lists(lists))
     }
 
     /// One incremental posting-list scan per segment for a single keyword
@@ -576,7 +671,7 @@ impl SegmentedIndex {
     pub fn verify_rebuild_equivalence(&self) -> Result<(), String> {
         let rebuilt = self.rebuilt_index();
         let all: Vec<usize> = (0..self.segments.len()).collect();
-        let merged = self.merge_segments(&all);
+        let merged = self.merge_segments(self.next_segment_id, &all);
         for t in 0..self.corpus.num_terms() as TermId {
             let a = merged.index.postings(t);
             let b = rebuilt.postings(t);

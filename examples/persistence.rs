@@ -1,10 +1,12 @@
 //! Cold-start persistence demo: build → mutate → save → load → serve.
 //!
 //! Builds a serving engine, mutates it live, persists the whole serving
-//! state to a checksummed binary snapshot (DESIGN.md §10), restores a
-//! second engine from the file, and shows the restored engine answering
-//! byte-identically — then demonstrates that corrupt snapshot bytes come
-//! back as a typed error, never a panic. Run with:
+//! state to a checksummed snapshot directory (DESIGN.md §14), restores a
+//! second engine from it, and shows the restored engine answering
+//! byte-identically. It then checkpoints again after another mutation to
+//! show the incremental save writing only the delta, and demonstrates
+//! that corrupt snapshot bytes come back as a typed error, never a
+//! panic. Run with:
 //!
 //! ```text
 //! cargo run --release --example persistence
@@ -40,15 +42,21 @@ fn main() {
         before.hits.len()
     );
 
-    // Persist the full serving state: corpus epoch, segments (posting
-    // partials bit-exact), tombstones, generation. Caches are process
-    // state and deliberately stay behind.
+    // Persist the full serving state: corpus epoch, document chunks,
+    // one file per segment (posting partials bit-exact), tombstones,
+    // generation — each file checksummed, tied together by a manifest.
     let path =
         std::env::temp_dir().join(format!("divtopk-example-{}.snapshot", std::process::id()));
-    let bytes = engine.save_snapshot(&path).unwrap();
-    println!("saved snapshot: {bytes} bytes → {}", path.display());
+    let _ = std::fs::remove_dir_all(&path);
+    let report = engine.save_snapshot(&path).unwrap();
+    println!(
+        "saved snapshot: {} files, {} bytes → {}",
+        report.files_written,
+        report.bytes_written,
+        path.display()
+    );
 
-    // Cold start: a brand-new engine restored from the file. No
+    // Cold start: a brand-new engine restored from the directory. No
     // tokenizing, no sorting, no statistics recomputation — and the
     // answers are byte-identical, early-stop metrics included.
     let restored = Engine::load_snapshot(&path, &EngineConfig::default()).unwrap();
@@ -62,23 +70,39 @@ fn main() {
     );
 
     // The restored engine is a full serving engine: mutations continue
-    // from the saved generation.
+    // from the saved generation — and the next checkpoint is O(delta):
+    // unchanged segment and chunk files are reused on disk, only the new
+    // segment, the tail chunk, and the manifest are rewritten.
     restored.add_text("rust-5", "rust compiler diagnostics");
+    let second = restored.save_snapshot(&path).unwrap();
     println!(
-        "restored engine mutated: generation {}",
-        restored.generation()
+        "incremental checkpoint: generation {} · wrote {} files ({} bytes), reused {}",
+        restored.generation(),
+        second.files_written,
+        second.bytes_written,
+        second.files_reused
     );
 
-    // Corruption is a typed error, never a panic: flip one payload bit.
-    let mut corrupt = std::fs::read(&path).unwrap();
+    // Corruption is a typed error, never a panic: flip one payload bit
+    // in one of the segment files.
+    let segment_file = std::fs::read_dir(&path)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-"))
+        })
+        .expect("snapshot contains a segment file");
+    let mut corrupt = std::fs::read(&segment_file).unwrap();
     let last = corrupt.len() - 1;
     corrupt[last] ^= 1;
-    std::fs::write(&path, &corrupt).unwrap();
+    std::fs::write(&segment_file, &corrupt).unwrap();
     match Engine::load_snapshot(&path, &EngineConfig::default()) {
         Err(e @ SnapshotError::ChecksumMismatch { .. }) => {
             println!("corrupt snapshot rejected: {e}");
         }
         other => panic!("expected a checksum mismatch, got {other:?}"),
     }
-    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_dir_all(&path).unwrap();
 }

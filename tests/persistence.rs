@@ -1,4 +1,4 @@
-//! Cold-start persistence suite (DESIGN.md §10): a loaded snapshot must
+//! Cold-start persistence suite (DESIGN.md §14): a loaded snapshot must
 //! serve **byte-identically** to the engine that saved it, and corrupt
 //! input must come back as a typed [`SnapshotError`] — never a panic.
 //!
@@ -6,9 +6,11 @@
 //! segments: full [`SearchOutput`] equality (hits, total score, metrics —
 //! early-stop point included) between the in-memory state and the loaded
 //! state, plus the data-level `verify_rebuild_equivalence` oracle run
-//! directly on the loaded [`SegmentedIndex`]. The corruption half
-//! truncates a valid snapshot at every byte offset and flips a bit in
-//! every byte, asserting a typed error each time.
+//! directly on the loaded [`SegmentedIndex`]. The corruption half covers
+//! the multi-file layout: every file of a valid snapshot directory is
+//! truncated at every byte offset and bit-flipped in every byte, and
+//! cross-file inconsistencies (a manifest naming a missing file, files
+//! swapped between names) are asserted typed as well.
 
 use divtopk::engine::{Engine, EngineConfig, Query};
 use divtopk::text::persist::{self, SnapshotError};
@@ -58,8 +60,8 @@ fn mutated_state() -> SegmentedIndex {
 
 /// A deliberately small serving state (tiny vocabulary, a dozen docs)
 /// whose snapshot is a few KB — the corruption sweeps below are
-/// quadratic (every offset × a full parse), so they run on this, not on
-/// [`mutated_state`].
+/// quadratic (every offset × a full directory load), so they run on
+/// this, not on [`mutated_state`].
 fn small_state() -> SegmentedIndex {
     let mut b = Corpus::builder();
     b.add_text("storm-1", "storm surge floods coastal city downtown");
@@ -77,19 +79,36 @@ fn small_state() -> SegmentedIndex {
     seg
 }
 
+/// A process-unique scratch path; any directory left over from a
+/// previous crashed run is removed first.
 fn temp_path(name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("divtopk-{}-{name}", std::process::id()))
+    let path = std::env::temp_dir().join(format!("divtopk-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// Names of every file in a snapshot directory.
+fn snapshot_files(dir: &std::path::Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    names
 }
 
 #[test]
 fn segmented_round_trip_serves_byte_identically() {
     let seg = mutated_state();
-    let bytes = persist::segmented_to_bytes(&seg, 7);
-    let (loaded, generation) = persist::segmented_from_bytes(&bytes).unwrap();
+    let dir = temp_path("roundtrip.snapshot");
+    persist::save_segmented(&dir, &seg, 7).unwrap();
+    let (loaded, generation) = persist::load_segmented(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
     assert_eq!(generation, 7);
     assert_eq!(loaded.num_segments(), seg.num_segments());
     assert_eq!(loaded.tombstones(), seg.tombstones());
     assert_eq!(loaded.compactions(), seg.compactions());
+    assert_eq!(loaded.next_segment_id(), seg.next_segment_id());
     // The PR 4 oracle holds on the *loaded* state directly.
     loaded.verify_rebuild_equivalence().unwrap();
     // Scan reads are byte-equal — hits, total score, and every metric,
@@ -117,6 +136,10 @@ fn segmented_round_trip_serves_byte_identically() {
 #[test]
 fn random_mutation_scripts_round_trip() {
     let mut rng = Pcg::new(0x5EED_CAFE);
+    // One directory reused across all trials: every trial's state is a
+    // *different lineage*, so each save must detect the stale files by
+    // fingerprint and rewrite (never silently reuse) them.
+    let dir = temp_path("scripts.snapshot");
     for trial in 0..5 {
         let donor = generate(&SynthConfig {
             num_docs: 200,
@@ -147,8 +170,8 @@ fn random_mutation_scripts_round_trip() {
                 }
             }
         }
-        let bytes = persist::segmented_to_bytes(&seg, trial);
-        let (loaded, generation) = persist::segmented_from_bytes(&bytes).unwrap();
+        persist::save_segmented(&dir, &seg, trial).unwrap();
+        let (loaded, generation) = persist::load_segmented(&dir).unwrap();
         assert_eq!(generation, trial);
         loaded.verify_rebuild_equivalence().unwrap();
         let term = busy_term(seg.corpus());
@@ -159,6 +182,45 @@ fn random_mutation_scripts_round_trip() {
             "trial {trial}"
         );
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn incremental_checkpoints_reuse_files_and_load_identically() {
+    let corpus = base(120);
+    let donor = generate(&SynthConfig {
+        num_docs: 160,
+        ..SynthConfig::tiny()
+    });
+    let mut seg = SegmentedIndex::build_partitioned(corpus, 2);
+    let dir = temp_path("incremental.snapshot");
+    let first = persist::save_segmented(&dir, &seg, 1).unwrap();
+    assert_eq!(first.files_reused, 0);
+
+    // Checkpoint after every mutation; each one must reuse the prior
+    // files and write strictly less than the full snapshot.
+    let mut generation = 1;
+    for round in 0..3u32 {
+        let lo = 120 + round * 10;
+        seg.add_docs((lo..lo + 10).map(|d| donor.doc(d).clone()).collect());
+        seg.delete_docs(&[round, 50 + round]);
+        generation += 1;
+        let report = persist::save_segmented(&dir, &seg, generation).unwrap();
+        assert!(report.files_reused > 0, "round {round}: {report:?}");
+        assert!(
+            report.bytes_written < first.bytes_written,
+            "round {round}: checkpoint rewrote the world ({report:?})"
+        );
+        let (loaded, g) = persist::load_segmented(&dir).unwrap();
+        assert_eq!(g, generation);
+        assert!(loaded.corpus().docs().eq(seg.corpus().docs()));
+        loaded.verify_rebuild_equivalence().unwrap();
+    }
+    // A checkpoint with no changes at all writes exactly one file: the
+    // manifest (the generation lives there).
+    let idle = persist::save_segmented(&dir, &seg, generation + 1).unwrap();
+    assert_eq!(idle.files_written, 1, "{idle:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
@@ -176,10 +238,11 @@ fn engine_snapshot_round_trip_preserves_generation_and_answers() {
     assert!(generation >= 2);
 
     let path = temp_path("engine.snapshot");
-    let written = engine.save_snapshot(&path).unwrap();
-    assert!(written > 0);
+    let report = engine.save_snapshot(&path).unwrap();
+    assert!(report.bytes_written > 0);
+    assert_eq!(report.bytes_written, report.total_bytes);
     let loaded = Engine::load_snapshot(&path, &EngineConfig::new(1).with_threads(2)).unwrap();
-    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_dir_all(&path).unwrap();
 
     // The generation resumes; process-local counters start over.
     assert_eq!(loaded.generation(), generation);
@@ -187,6 +250,12 @@ fn engine_snapshot_round_trip_preserves_generation_and_answers() {
     assert_eq!((stats.queries, stats.cache_entries), (0, 0));
     assert_eq!(stats.segments, engine.stats().segments);
     assert_eq!(stats.tombstones, engine.stats().tombstones);
+    // Layout provenance (the `config.shards` precedence contract): the
+    // loaded engine serves the snapshot's layout, not the requested
+    // 1-shard partition — and says so.
+    assert_eq!(stats.configured_shards, 1);
+    assert!(stats.layout_from_snapshot);
+    assert!(!engine.stats().layout_from_snapshot);
     loaded.verify_rebuild_equivalence().unwrap();
 
     // Every query class answers byte-identically to the saved engine.
@@ -218,7 +287,7 @@ fn loaded_engine_keeps_mutating_from_where_it_stood() {
     let path = temp_path("resume.snapshot");
     engine.save_snapshot(&path).unwrap();
     let loaded = Engine::load_snapshot(&path, &EngineConfig::default()).unwrap();
-    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_dir_all(&path).unwrap();
     let donor = generate(&SynthConfig {
         num_docs: 120,
         ..SynthConfig::tiny()
@@ -243,7 +312,7 @@ fn corpus_and_index_file_round_trips() {
     let lindex = persist::load_index(&ipath).unwrap();
     std::fs::remove_file(&cpath).unwrap();
     std::fs::remove_file(&ipath).unwrap();
-    assert_eq!(lcorpus.docs(), corpus.docs());
+    assert!(lcorpus.docs().eq(corpus.docs()));
     for t in 0..corpus.num_terms() as TermId {
         assert_eq!(lcorpus.idf(t).to_bits(), corpus.idf(t).to_bits());
         let (a, b) = (index.postings(t), lindex.postings(t));
@@ -267,68 +336,103 @@ fn corpus_and_index_file_round_trips() {
     assert_eq!(want, got);
 }
 
-/// Walks the container structure of a valid snapshot and returns every
-/// section boundary offset (header end, then after each section header
-/// and each payload).
-fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
-    let mut offsets = vec![8, 12, 16, 20]; // magic, version, kind, count
-    let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
-    let mut pos = 20;
-    for _ in 0..count {
-        pos += 4; // tag
-        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
-        pos += 8 + 4; // len + crc
-        offsets.push(pos);
-        pos += len;
-        offsets.push(pos);
-    }
-    assert_eq!(pos, bytes.len(), "boundary walk must cover the whole file");
-    offsets
-}
-
 #[test]
-fn truncation_at_every_offset_is_a_typed_error() {
+fn truncation_at_every_offset_of_every_file_is_a_typed_error() {
     let seg = small_state();
-    let bytes = persist::segmented_to_bytes(&seg, 1);
-    // Every section boundary (the headline corruption mode)…
-    for &cut in &section_boundaries(&bytes) {
-        if cut == bytes.len() {
-            continue;
+    let dir = temp_path("truncate.snapshot");
+    persist::save_segmented(&dir, &seg, 1).unwrap();
+    for name in snapshot_files(&dir) {
+        let path = dir.join(&name);
+        let original = std::fs::read(&path).unwrap();
+        // Literally every prefix of every file — manifest, epoch,
+        // segments, chunks — must fail typed, never panic.
+        for cut in 0..original.len() {
+            std::fs::write(&path, &original[..cut]).unwrap();
+            assert!(
+                persist::load_segmented(&dir).is_err(),
+                "{name} truncated to {cut} bytes must not load"
+            );
         }
-        let err = persist::segmented_from_bytes(&bytes[..cut])
-            .expect_err("truncated snapshot must not load");
-        assert!(
-            matches!(
-                err,
-                SnapshotError::Truncated { .. } | SnapshotError::Malformed { .. }
-            ),
-            "boundary {cut}: unexpected error {err:?}"
-        );
+        std::fs::write(&path, &original).unwrap();
     }
-    // …and, since parses are cheap, literally every prefix.
-    for cut in 0..bytes.len() {
-        assert!(
-            persist::segmented_from_bytes(&bytes[..cut]).is_err(),
-            "prefix of {cut} bytes must not load"
-        );
-    }
+    // The loop restored every file: the pristine directory still loads.
+    persist::load_segmented(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
-fn bit_flips_in_every_byte_are_typed_errors() {
+fn bit_flips_in_every_byte_of_every_file_are_typed_errors() {
     let seg = small_state();
-    let mut bytes = persist::segmented_to_bytes(&seg, 1);
-    for i in 0..bytes.len() {
-        let mask = 1u8 << (i % 8);
-        bytes[i] ^= mask;
-        assert!(
-            persist::segmented_from_bytes(&bytes).is_err(),
-            "flip at byte {i} must not load"
-        );
-        bytes[i] ^= mask;
+    let dir = temp_path("bitflip.snapshot");
+    persist::save_segmented(&dir, &seg, 1).unwrap();
+    for name in snapshot_files(&dir) {
+        let path = dir.join(&name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        for i in 0..bytes.len() {
+            let mask = 1u8 << (i % 8);
+            bytes[i] ^= mask;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                persist::load_segmented(&dir).is_err(),
+                "{name}: flip at byte {i} must not load"
+            );
+            bytes[i] ^= mask;
+        }
+        std::fs::write(&path, &bytes).unwrap();
     }
-    // The pristine buffer still loads — the loop restored every byte.
-    persist::segmented_from_bytes(&bytes).unwrap();
+    persist::load_segmented(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cross_file_inconsistencies_are_typed_errors() {
+    let seg = small_state();
+    let dir = temp_path("crossfile.snapshot");
+    persist::save_segmented(&dir, &seg, 1).unwrap();
+    let files = snapshot_files(&dir);
+
+    // Deleting any referenced file leaves a manifest naming a missing
+    // file — a typed I/O error on load, never a panic.
+    for name in files.iter().filter(|n| *n != "MANIFEST") {
+        let path = dir.join(name);
+        let original = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(persist::load_segmented(&dir), Err(SnapshotError::Io(_))),
+            "missing {name} must be a typed I/O error"
+        );
+        std::fs::write(&path, &original).unwrap();
+    }
+
+    // Swapping any two referenced files (stale/renamed file scenario)
+    // must be caught by the manifest's per-file length or CRC, before
+    // any section of the wrong file is interpreted.
+    let swappable: Vec<&String> = files.iter().filter(|n| *n != "MANIFEST").collect();
+    for i in 0..swappable.len() {
+        for j in (i + 1)..swappable.len() {
+            let (a, b) = (dir.join(swappable[i]), dir.join(swappable[j]));
+            let (bytes_a, bytes_b) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+            std::fs::write(&a, &bytes_b).unwrap();
+            std::fs::write(&b, &bytes_a).unwrap();
+            let err =
+                persist::load_segmented(&dir).expect_err("swapped snapshot files must not load");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::TrailingBytes { .. }
+                        | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "swap {} <-> {}: unexpected error {err:?}",
+                swappable[i],
+                swappable[j]
+            );
+            std::fs::write(&a, &bytes_a).unwrap();
+            std::fs::write(&b, &bytes_b).unwrap();
+        }
+    }
+    persist::load_segmented(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
@@ -336,23 +440,28 @@ fn wrong_format_version_fixture_is_rejected() {
     let fixture =
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/wrong_version.snapshot");
     let bytes = std::fs::read(&fixture).expect("checked-in fixture");
-    match persist::segmented_from_bytes(&bytes) {
+    // As a manifest of a snapshot directory:
+    let dir = temp_path("wrongversion.snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("MANIFEST"), &bytes).unwrap();
+    match persist::load_segmented(&dir) {
         Err(SnapshotError::UnsupportedVersion { found: 9 }) => {}
         other => panic!("expected UnsupportedVersion {{ found: 9 }}, got {other:?}"),
     }
-    // The file-level entry points agree.
+    // The file-level and engine entry points agree.
     assert!(matches!(
         persist::load_corpus(&fixture),
         Err(SnapshotError::UnsupportedVersion { found: 9 })
     ));
     assert!(matches!(
-        Engine::load_snapshot(&fixture, &EngineConfig::default()),
+        Engine::load_snapshot(&dir, &EngineConfig::default()),
         Err(SnapshotError::UnsupportedVersion { found: 9 })
     ));
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
-fn missing_file_is_an_io_error() {
+fn missing_snapshot_is_an_io_error() {
     let path = temp_path("does-not-exist.snapshot");
     assert!(matches!(
         Engine::load_snapshot(&path, &EngineConfig::default()),
@@ -367,15 +476,18 @@ fn missing_file_is_an_io_error() {
 #[test]
 fn snapshot_error_display_is_informative() {
     let seg = small_state();
-    let bytes = persist::segmented_to_bytes(&seg, 1);
-    let err = persist::segmented_from_bytes(&bytes[..10]).unwrap_err();
-    let msg = err.to_string();
+    let dir = temp_path("display.snapshot");
+    persist::save_segmented(&dir, &seg, 1).unwrap();
+    let manifest = dir.join("MANIFEST");
+    let bytes = std::fs::read(&manifest).unwrap();
+    std::fs::write(&manifest, &bytes[..10]).unwrap();
+    let msg = persist::load_segmented(&dir).unwrap_err().to_string();
     assert!(msg.contains("truncated"), "got: {msg}");
     let mut flipped = bytes.clone();
     let last = flipped.len() - 1;
     flipped[last] ^= 1;
-    let msg = persist::segmented_from_bytes(&flipped)
-        .unwrap_err()
-        .to_string();
+    std::fs::write(&manifest, &flipped).unwrap();
+    let msg = persist::load_segmented(&dir).unwrap_err().to_string();
     assert!(msg.contains("checksum mismatch"), "got: {msg}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
