@@ -52,7 +52,7 @@ fn bench_framework(c: &mut Criterion) {
                         term,
                         &SearchOptions::new(10)
                             .with_tau(0.6)
-                            .with_algorithm(ExactAlgorithm::Dp),
+                            .with_mode(DiversifyMode::Exact(ExactAlgorithm::Dp)),
                     )
                     .unwrap()
                     .total_score,

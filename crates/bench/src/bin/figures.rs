@@ -172,7 +172,7 @@ fn run_query(
     };
     let options = SearchOptions::new(k)
         .with_tau(tau)
-        .with_algorithm(algo.exact())
+        .with_mode(DiversifyMode::Exact(algo.exact()))
         .with_limits(limits)
         .with_bound_decay(ctx.decay);
     let searcher = DiversifiedSearcher::new(corpus, index);

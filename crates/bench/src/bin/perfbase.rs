@@ -247,7 +247,7 @@ fn synth_cell(
     };
     let options = SearchOptions::new(k)
         .with_tau(0.6)
-        .with_algorithm(ExactAlgorithm::Cut)
+        .with_mode(DiversifyMode::Exact(ExactAlgorithm::Cut))
         .with_limits(limits)
         .with_bound_decay(0.005);
     let searcher = DiversifiedSearcher::new(corpus, index);
@@ -1040,8 +1040,244 @@ fn quality_gate_suite(cells: &mut Vec<Cell>) -> Option<QualityGateReport> {
     Some(summary)
 }
 
+/// One measured frontier point: a diversify mode on a corpus shape.
+struct FrontierRow {
+    mode: &'static str,
+    shape: &'static str,
+    /// Relative optimality gap vs the exact diversified optimum:
+    /// `(exact_total − mode_total) / exact_total`. Negative means the
+    /// mode's raw relevance total *exceeds* the constrained optimum by
+    /// ignoring the dissimilarity constraint (plain top-k does).
+    gap: f64,
+    /// Pairs of the selection above τ (0 for any feasible answer).
+    violations: usize,
+    /// Median Exact(Cut) wall over this mode's median wall.
+    speedup_vs_exact: f64,
+}
+
+/// Outcome of the frontier suite, for the JSON summary.
+struct FrontierReport {
+    modes: usize,
+    shapes: usize,
+    rows: Vec<FrontierRow>,
+    /// Best exact-vs-cheap speedup among the rerank modes (MMR, window,
+    /// DisC, KNN) and the gap measured at that point.
+    best_cheap_speedup: f64,
+    best_cheap_speedup_gap: f64,
+}
+
+/// The gap × latency frontier suite (DESIGN.md §15): every
+/// [`DiversifyMode`] on the two paper corpus shapes (reuters-like
+/// single-keyword scan, enwiki-like 2-keyword TA), measured against the
+/// exact diversified optimum that `Exact(Cut)` — provably exact —
+/// produces on the same query. Before any timing, the suite asserts the
+/// mode-dispatched `Exact(Cut)` answer is **byte-identical** to driving
+/// the core framework directly (the pre-redesign call shape), so the
+/// frontier's oracle is pinned to the old behaviour.
+fn frontier_suite(
+    cells: &mut Vec<Cell>,
+    smoke: bool,
+    runs: usize,
+    budget: Duration,
+) -> Option<FrontierReport> {
+    let docs = if smoke { 400 } else { 4000 };
+    let k = if smoke { 8 } else { 10 };
+    let tau = 0.6;
+    let limits = SearchLimits {
+        time_budget: Some(budget),
+        max_bytes: Some(1 << 30),
+        ..SearchLimits::default()
+    };
+    let modes: [(&'static str, DiversifyMode); 6] = [
+        ("exact-cut", DiversifyMode::Exact(ExactAlgorithm::Cut)),
+        ("none", DiversifyMode::None),
+        ("mmr", DiversifyMode::mmr(0.7)),
+        ("window", DiversifyMode::window()),
+        ("disc", DiversifyMode::Disc),
+        ("knn", DiversifyMode::knn()),
+    ];
+    let mut rows: Vec<FrontierRow> = Vec::new();
+    let mut shapes = 0usize;
+    for (shape, config, terms) in [
+        (
+            "reuters_scan",
+            SynthConfig::reuters_like().with_num_docs(docs),
+            1usize,
+        ),
+        (
+            "enwiki_ta",
+            SynthConfig::enwiki_like().with_num_docs(docs),
+            2usize,
+        ),
+    ] {
+        let corpus = generate(&config);
+        let index = InvertedIndex::build(&corpus);
+        let searcher = DiversifiedSearcher::new(&corpus, &index);
+        let Some(query) = query_for_band(&corpus, 3, terms, QUERY_SEED) else {
+            eprintln!("[frontier] {shape}: no band-3 query, skipping shape");
+            continue;
+        };
+        shapes += 1;
+        let run_once = |mode: &DiversifyMode| {
+            let options = SearchOptions::new(k)
+                .with_tau(tau)
+                .with_mode(mode.clone())
+                .with_limits(limits.clone())
+                .with_bound_decay(0.005);
+            if terms == 1 {
+                searcher.search_scan(query.terms[0], &options).ok()
+            } else {
+                searcher.search_ta(&query, &options).ok()
+            }
+        };
+        // Oracle byte-identity: the trait-dispatched Exact(Cut) must be
+        // the pre-redesign direct framework run, bit for bit.
+        if terms == 1 {
+            let via_mode = run_once(&DiversifyMode::Exact(ExactAlgorithm::Cut))
+                .expect("exact frontier oracle");
+            let weights = doc_weights(&corpus);
+            let direct = DivTopK::new(
+                ScanSource::new(&index, query.terms[0]),
+                |a: &DocId, b: &DocId| {
+                    similar_above(
+                        corpus.idf_table(),
+                        corpus.doc(*a),
+                        weights[*a as usize],
+                        corpus.doc(*b),
+                        weights[*b as usize],
+                        tau,
+                    )
+                },
+                DivSearchConfig::new(k)
+                    .with_limits(limits.clone())
+                    .with_bound_decay(0.005),
+            )
+            .run()
+            .expect("direct frontier oracle");
+            assert_eq!(
+                via_mode
+                    .hits
+                    .iter()
+                    .map(|h| (h.doc, h.score))
+                    .collect::<Vec<_>>(),
+                direct
+                    .selected
+                    .iter()
+                    .map(|r| (r.item, r.score))
+                    .collect::<Vec<_>>(),
+                "frontier oracle drifted from the direct framework run ({shape})"
+            );
+            assert_eq!(via_mode.total_score, direct.total_score);
+        }
+        // Measure every mode; Exact(Cut) goes first so its median wall
+        // and total anchor the gap and speedup columns.
+        let mut exact_total = 0.0f64;
+        let mut exact_wall = 0u128;
+        for (name, mode) in &modes {
+            let mut wall_ns_runs = Vec::with_capacity(runs);
+            let mut peak_bytes = 0usize;
+            let mut total = None;
+            let mut out_hits: Vec<Scored<DocId>> = Vec::new();
+            for _ in 0..runs {
+                let (m, out) = measure(|| run_once(mode));
+                match (m, out) {
+                    (
+                        Measurement::Done {
+                            time,
+                            peak_bytes: p,
+                        },
+                        Some(out),
+                    ) => {
+                        wall_ns_runs.push(time.as_nanos());
+                        peak_bytes = peak_bytes.max(p);
+                        total = Some(out.total_score.get());
+                        out_hits = out
+                            .hits
+                            .iter()
+                            .map(|h| Scored::new(h.doc, h.score))
+                            .collect();
+                    }
+                    _ => {
+                        wall_ns_runs.clear();
+                        total = None;
+                        break;
+                    }
+                }
+            }
+            let wall_ns = median(&mut wall_ns_runs.clone());
+            cells.push(Cell {
+                suite: "frontier",
+                algo: name,
+                kernel: shape,
+                seed: QUERY_SEED,
+                n: corpus.num_docs(),
+                edges: 0,
+                k,
+                wall_ns_runs,
+                wall_ns,
+                peak_bytes,
+                score: total,
+            });
+            let Some(total) = total else { continue };
+            if *name == "exact-cut" {
+                exact_total = total;
+                exact_wall = wall_ns;
+                rows.push(FrontierRow {
+                    mode: name,
+                    shape,
+                    gap: 0.0,
+                    violations: 0,
+                    speedup_vs_exact: 1.0,
+                });
+                continue;
+            }
+            let gap = if exact_total > 0.0 {
+                (exact_total - total) / exact_total
+            } else {
+                0.0
+            };
+            let (violations, _) = redundancy(&corpus, &out_hits, tau);
+            let speedup = if wall_ns > 0 {
+                exact_wall as f64 / wall_ns as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "[frontier] {shape}/{name}: gap {gap:+.4}, {violations} violations, \
+                 {speedup:.1}x vs exact-cut"
+            );
+            rows.push(FrontierRow {
+                mode: name,
+                shape,
+                gap,
+                violations,
+                speedup_vs_exact: speedup,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let (mut best_cheap_speedup, mut best_cheap_speedup_gap) = (0.0f64, 0.0f64);
+    for row in &rows {
+        if matches!(row.mode, "mmr" | "window" | "disc" | "knn")
+            && row.speedup_vs_exact > best_cheap_speedup
+        {
+            best_cheap_speedup = row.speedup_vs_exact;
+            best_cheap_speedup_gap = row.gap;
+        }
+    }
+    Some(FrontierReport {
+        modes: modes.len(),
+        shapes,
+        rows,
+        best_cheap_speedup,
+        best_cheap_speedup_gap,
+    })
+}
+
 /// Every suite a complete perfbase run records cells for.
-const EXPECTED_SUITES: [&str; 10] = [
+const EXPECTED_SUITES: [&str; 11] = [
     "planted_default",
     "planted_dense_neardup",
     "path",
@@ -1052,11 +1288,17 @@ const EXPECTED_SUITES: [&str; 10] = [
     "cold_start",
     "serving_latency",
     "quality_gate",
+    "frontier",
 ];
 
 /// Every summary key a complete perfbase run publishes (all numeric; all
 /// must be finite).
-const EXPECTED_SUMMARY_KEYS: [&str; 25] = [
+const EXPECTED_SUMMARY_KEYS: [&str; 30] = [
+    "frontier_modes",
+    "frontier_shapes",
+    "frontier_best_cheap_speedup",
+    "frontier_best_cheap_speedup_gap",
+    "frontier_oracle_identity_pass",
     "astar_bitset_speedup_planted_default",
     "astar_bitset_speedup_planted_dense_neardup",
     "throughput_qps_baseline",
@@ -1504,7 +1746,7 @@ fn dense_neardup_config(smoke: bool) -> ClusterConfig {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut smoke = false;
     let mut runs_override: Option<usize> = None;
     let mut verify_path: Option<String> = None;
@@ -1694,6 +1936,11 @@ fn main() {
     // per pack family, with the pack's own pass criteria enforced
     // (DESIGN.md §12).
     let quality = quality_gate_suite(&mut cells);
+
+    // Suite 10: the diversifier gap × latency frontier — every
+    // `DiversifyMode` against the exact optimum on both paper corpus
+    // shapes (DESIGN.md §15).
+    let frontier = frontier_suite(&mut cells, smoke, runs, budget);
 
     // Kernel oracle check: within a (suite, seed), the bitset and
     // sorted-vec div-astar cells must find the same best score.
@@ -1953,12 +2200,57 @@ fn main() {
         );
     }
 
+    if let Some(report) = &frontier {
+        summary_lines.push(format!("\"frontier_modes\": {}", report.modes));
+        summary_lines.push(format!("\"frontier_shapes\": {}", report.shapes));
+        // The suite asserted identity before timing; the key exists so
+        // `--verify` can prove the oracle check actually ran.
+        summary_lines.push("\"frontier_oracle_identity_pass\": 1".to_string());
+        for row in &report.rows {
+            summary_lines.push(format!(
+                "\"frontier_gap_{}_{}\": {:.4}",
+                row.mode, row.shape, row.gap
+            ));
+            summary_lines.push(format!(
+                "\"frontier_speedup_{}_{}\": {:.3}",
+                row.mode, row.shape, row.speedup_vs_exact
+            ));
+            summary_lines.push(format!(
+                "\"frontier_violations_{}_{}\": {}",
+                row.mode, row.shape, row.violations
+            ));
+        }
+        summary_lines.push(format!(
+            "\"frontier_best_cheap_speedup\": {:.3}",
+            report.best_cheap_speedup
+        ));
+        summary_lines.push(format!(
+            "\"frontier_best_cheap_speedup_gap\": {:.4}",
+            report.best_cheap_speedup_gap
+        ));
+        eprintln!(
+            "[summary] frontier: {} modes × {} shapes; best cheap-mode speedup {:.1}x \
+             at gap {:+.4}",
+            report.modes, report.shapes, report.best_cheap_speedup, report.best_cheap_speedup_gap
+        );
+        // The headline claim is only asserted on full runs: smoke corpora
+        // are too small for stable timing ratios.
+        if !smoke {
+            assert!(
+                report.best_cheap_speedup >= 5.0,
+                "no cheap diversify mode reached 5x over Exact(Cut) \
+                 (best {:.2}x)",
+                report.best_cheap_speedup
+            );
+        }
+    }
+
     let cell_json: Vec<String> = cells
         .iter()
         .map(|c| format!("    {}", c.to_json()))
         .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 8,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
+        "{{\n  \"schema\": \"divtopk-perfbase/1\",\n  \"bench_id\": 9,\n  \"smoke\": {smoke},\n  \"runs_per_cell\": {runs},\n  \"cells\": [\n{}\n  ],\n  \"summary\": {{{}}}\n}}\n",
         cell_json.join(",\n"),
         summary_lines.join(", "),
     );

@@ -13,6 +13,7 @@
 use divtopk_core::rng::Pcg;
 use divtopk_engine::engine::Query;
 use divtopk_engine::proto::{self, Request, Response};
+use divtopk_text::mode::DiversifyMode;
 use divtopk_text::query::KeywordQuery;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -212,7 +213,7 @@ pub fn build_trace(spec: &LoadSpec, num_terms: u32) -> Vec<Request> {
                 k: spec.k,
                 tau: spec.tau,
                 bound_decay: 0.005,
-                algorithm: 2, // div-cut
+                mode: DiversifyMode::exact(),
             }
         })
         .collect()

@@ -19,6 +19,7 @@ use divtopk_core::metrics::{max_share, ndcg, reciprocal_rank, unique_labels};
 use divtopk_engine::engine::{Engine, EngineConfig, Query};
 use divtopk_text::index::InvertedIndex;
 use divtopk_text::jaccard::weighted_jaccard;
+use divtopk_text::mode::DiversifyMode;
 use divtopk_text::search::{SearchOptions, SearchOutput};
 use std::time::Instant;
 
@@ -322,8 +323,10 @@ pub fn evaluate(pack: &QueryPack) -> Result<QualityReport, String> {
         // thread — replay is sequential by construction.
         let engine = Engine::new(corpus.clone(), EngineConfig::new(2).with_threads(1));
         let mut labels = base_labels.clone();
-        let options_on = SearchOptions::new(family.k).with_tau(family.tau);
-        let options_off = options_on.clone().with_diversify(false);
+        let options_on = SearchOptions::new(family.k)
+            .with_tau(family.tau)
+            .with_mode(family.mode.clone());
+        let options_off = options_on.clone().with_mode(DiversifyMode::None);
         let mut on = SideAcc::default();
         let mut off = SideAcc::default();
         let mut queries = 0usize;

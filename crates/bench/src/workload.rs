@@ -22,11 +22,13 @@
 
 use crate::json::{self, Value};
 use crate::load::ArrivalShape;
+use divtopk_core::ExactAlgorithm;
 use divtopk_core::rng::Pcg;
 use divtopk_engine::engine::Query;
 use divtopk_text::corpus::Corpus;
 use divtopk_text::document::DocId;
 use divtopk_text::index::InvertedIndex;
+use divtopk_text::mode::DiversifyMode;
 use divtopk_text::query::query_for_band;
 use divtopk_text::synth::{SynthConfig, generate_labeled};
 
@@ -291,8 +293,51 @@ pub struct Family {
     pub cache: CacheMode,
     /// Interleaved mutation traffic.
     pub mutations: MutationSpec,
+    /// The diversify mode the family's "on" side runs (the "off" side is
+    /// always [`DiversifyMode::None`]). Packs name one of the canonical
+    /// configurations (see `MODE_KEYS`); omitted means the exact
+    /// default.
+    pub mode: DiversifyMode,
     /// Pass criteria.
     pub gates: Gates,
+}
+
+/// The canonical pack-file spellings of [`DiversifyMode`]: fixed named
+/// configurations, so pack JSON stays a flat enum rather than a parameter
+/// bag. `mmr` pins λ = 0.7 (the conventional relevance-leaning setting).
+#[allow(clippy::type_complexity)] // (key, constructor) table, not a reusable type
+const MODE_KEYS: [(&str, fn() -> DiversifyMode); 8] = [
+    ("exact-cut", DiversifyMode::exact),
+    ("exact-dp", || DiversifyMode::Exact(ExactAlgorithm::Dp)),
+    ("exact-astar", || {
+        DiversifyMode::Exact(ExactAlgorithm::AStar)
+    }),
+    ("none", || DiversifyMode::None),
+    ("mmr", || DiversifyMode::mmr(0.7)),
+    ("window", DiversifyMode::window),
+    ("disc", || DiversifyMode::Disc),
+    ("knn", DiversifyMode::knn),
+];
+
+/// Resolves a pack-file mode key to its mode.
+fn mode_from_key(key: &str) -> Option<DiversifyMode> {
+    MODE_KEYS
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, make)| make())
+}
+
+/// The inverse of [`mode_from_key`] for the canonical configurations.
+/// Non-canonical modes (custom λ, tuned windows) fall back to the mode's
+/// bare [`DiversifyMode::name`], which `from_json` rejects — so an
+/// unrepresentable pack fails loudly at round-trip instead of silently
+/// changing meaning.
+fn mode_key(mode: &DiversifyMode) -> &'static str {
+    MODE_KEYS
+        .iter()
+        .find(|(_, make)| make() == *mode)
+        .map(|(k, _)| *k)
+        .unwrap_or_else(|| mode.name())
 }
 
 /// One step of a compiled family script, in replay order.
@@ -327,6 +372,8 @@ pub struct CompiledFamily {
     pub tau: f64,
     /// Cache mode.
     pub cache: CacheMode,
+    /// The "on" side's diversify mode (copied from the pack).
+    pub mode: DiversifyMode,
     /// Pass criteria (copied from the pack).
     pub gates: Gates,
     /// Arrival offset (ns from family start) of each *query* event, in
@@ -422,6 +469,7 @@ impl QueryPack {
                         },
                     },
                     cache: CacheMode::Normal,
+                    mode: DiversifyMode::exact(),
                     mutations: MutationSpec::None,
                     gates: Gates {
                         // Measured: +1.000 unique sources, +0.017 dissim.
@@ -444,6 +492,7 @@ impl QueryPack {
                         shape: ArrivalShape::Uniform,
                     },
                     cache: CacheMode::Normal,
+                    mode: DiversifyMode::exact(),
                     mutations: MutationSpec::None,
                     gates: Gates {
                         // Measured: +0.009 dissim, +0.011 max-share.
@@ -469,6 +518,7 @@ impl QueryPack {
                         },
                     },
                     cache: CacheMode::Bypass,
+                    mode: DiversifyMode::exact(),
                     mutations: MutationSpec::None,
                     gates: Gates {
                         // Measured: +0.125 unique, +0.113 dissim, −0.043
@@ -494,6 +544,7 @@ impl QueryPack {
                         shape: ArrivalShape::Uniform,
                     },
                     cache: CacheMode::Normal,
+                    mode: DiversifyMode::exact(),
                     mutations: MutationSpec::DeleteStorm {
                         events: 4,
                         docs_per_event: 3,
@@ -519,6 +570,7 @@ impl QueryPack {
                         shape: ArrivalShape::Uniform,
                     },
                     cache: CacheMode::Normal,
+                    mode: DiversifyMode::exact(),
                     mutations: MutationSpec::NeardupFlood {
                         events: 4,
                         docs_per_event: 6,
@@ -531,6 +583,109 @@ impl QueryPack {
                         max_max_share_delta: Some(-0.05),
                         min_dissimilarity_gain: Some(0.04),
                         min_ndcg_delta: Some(-0.15),
+                        ..relevance_guards.clone()
+                    },
+                },
+                // One gated family per cheap diversify mode, all on the
+                // same torso mix so their gates are comparable with
+                // `torso_mix` (exact) above. Thresholds calibrated the
+                // same way: floors at roughly half the measured gain,
+                // relevance guards at roughly twice the sacrifice.
+                Family {
+                    name: "torso_mmr".to_owned(),
+                    band: Band::Torso,
+                    queries: 48,
+                    distinct: 24,
+                    zipf_exponent: 1.0,
+                    ta_fraction: 0.25,
+                    k: 10,
+                    tau: 0.3,
+                    arrival: Arrival {
+                        rate: 200.0,
+                        shape: ArrivalShape::Uniform,
+                    },
+                    cache: CacheMode::Normal,
+                    mode: mode_from_key("mmr").expect("canonical"),
+                    mutations: MutationSpec::None,
+                    gates: Gates {
+                        // Measured: +0.375 unique, +0.009 dissim,
+                        // −0.005 NDCG.
+                        min_unique_sources_gain: Some(0.15),
+                        min_dissimilarity_gain: Some(0.004),
+                        ..relevance_guards.clone()
+                    },
+                },
+                Family {
+                    name: "torso_window".to_owned(),
+                    band: Band::Torso,
+                    queries: 48,
+                    distinct: 24,
+                    zipf_exponent: 1.0,
+                    ta_fraction: 0.25,
+                    k: 10,
+                    tau: 0.3,
+                    arrival: Arrival {
+                        rate: 200.0,
+                        shape: ArrivalShape::Uniform,
+                    },
+                    cache: CacheMode::Normal,
+                    mode: mode_from_key("window").expect("canonical"),
+                    mutations: MutationSpec::None,
+                    gates: Gates {
+                        // The window leaf is conservative by design: it
+                        // must never *hurt* (floors at zero), and its
+                        // relevance cost is bounded like the others.
+                        min_unique_sources_gain: Some(0.0),
+                        min_dissimilarity_gain: Some(0.0),
+                        ..relevance_guards.clone()
+                    },
+                },
+                Family {
+                    name: "torso_disc".to_owned(),
+                    band: Band::Torso,
+                    queries: 48,
+                    distinct: 24,
+                    zipf_exponent: 1.0,
+                    ta_fraction: 0.25,
+                    k: 10,
+                    tau: 0.3,
+                    arrival: Arrival {
+                        rate: 200.0,
+                        shape: ArrivalShape::Uniform,
+                    },
+                    cache: CacheMode::Normal,
+                    mode: mode_from_key("disc").expect("canonical"),
+                    mutations: MutationSpec::None,
+                    gates: Gates {
+                        // Measured: +0.012 dissim, −0.040 max-share
+                        // (DisC enforces the pairwise constraint, like
+                        // exact), −0.001 NDCG.
+                        min_dissimilarity_gain: Some(0.005),
+                        max_max_share_delta: Some(0.0),
+                        ..relevance_guards.clone()
+                    },
+                },
+                Family {
+                    name: "torso_knn".to_owned(),
+                    band: Band::Torso,
+                    queries: 48,
+                    distinct: 24,
+                    zipf_exponent: 1.0,
+                    ta_fraction: 0.25,
+                    k: 10,
+                    tau: 0.3,
+                    arrival: Arrival {
+                        rate: 200.0,
+                        shape: ArrivalShape::Uniform,
+                    },
+                    cache: CacheMode::Normal,
+                    mode: mode_from_key("knn").expect("canonical"),
+                    mutations: MutationSpec::None,
+                    gates: Gates {
+                        // Measured: +0.958 unique, +0.016 dissim,
+                        // −0.004 NDCG.
+                        min_unique_sources_gain: Some(0.4),
+                        min_dissimilarity_gain: Some(0.008),
                         ..relevance_guards
                     },
                 },
@@ -719,6 +874,7 @@ impl Family {
             k: self.k,
             tau: self.tau,
             cache: self.cache,
+            mode: self.mode.clone(),
             gates: self.gates.clone(),
             arrivals_ns: self
                 .arrival
@@ -869,6 +1025,7 @@ fn parse_family(v: &Value, index: usize) -> Result<Family, PackError> {
             "tau",
             "arrival",
             "cache",
+            "mode",
             "mutations",
             "gates",
         ],
@@ -949,6 +1106,18 @@ fn parse_family(v: &Value, index: usize) -> Result<Family, PackError> {
         "bypass" => CacheMode::Bypass,
         other => return Err(bad(&ctx, format!("unknown cache mode {other:?}"))),
     };
+    let mode = match v.get("mode") {
+        None => DiversifyMode::exact(),
+        Some(value) => {
+            let key = value
+                .as_str()
+                .ok_or_else(|| bad(&ctx, "field \"mode\" must be a string"))?;
+            mode_from_key(key).ok_or_else(|| {
+                let known: Vec<&str> = MODE_KEYS.iter().map(|(k, _)| *k).collect();
+                bad(&ctx, format!("unknown mode {key:?} (known: {known:?})"))
+            })?
+        }
+    };
     let mutations_v = req(v, &ctx, "mutations")?;
     let mut_ctx = format!("{ctx} mutations");
     let mutations = match req_str(mutations_v, &mut_ctx, "kind")? {
@@ -1011,6 +1180,7 @@ fn parse_family(v: &Value, index: usize) -> Result<Family, PackError> {
         tau,
         arrival: Arrival { rate, shape },
         cache,
+        mode,
         mutations,
         gates,
     })
@@ -1086,6 +1256,7 @@ fn family_to_value(f: &Family) -> Value {
         ("tau".into(), Value::Number(f.tau)),
         ("arrival".into(), arrival),
         ("cache".into(), Value::String(f.cache.as_str().into())),
+        ("mode".into(), Value::String(mode_key(&f.mode).into())),
         ("mutations".into(), mutations),
         ("gates".into(), gates),
     ])

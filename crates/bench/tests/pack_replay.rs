@@ -87,6 +87,15 @@ fn family_strategy(tag: usize) -> impl Strategy<Value = Family> {
                     CacheMode::Bypass
                 },
                 mutations,
+                // Canonical modes only: `family_to_value` emits the
+                // canonical key, so round-trips are exact.
+                mode: match (queries + k) % 5 {
+                    0 => DiversifyMode::exact(),
+                    1 => DiversifyMode::None,
+                    2 => DiversifyMode::mmr(0.7),
+                    3 => DiversifyMode::window(),
+                    _ => DiversifyMode::knn(),
+                },
                 gates: Gates::default(),
             },
         )

@@ -417,7 +417,7 @@ fn bound_zero_scan(
 
 /// Configuration knobs for `div-astar` (ablations; defaults match the paper
 /// plus the bitset kernel).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AStarConfig {
     /// Reuse the heap across `k'` rounds (Lemma 6). Disabling restarts the
     /// search from scratch for every `k'` — ablation AB4.

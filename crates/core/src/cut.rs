@@ -57,7 +57,7 @@ pub enum ChildHeuristic {
 }
 
 /// Tuning knobs for `div-cut`; defaults reproduce the paper.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CutConfig {
     /// Inner A\* configuration.
     pub astar: AStarConfig,

@@ -33,6 +33,14 @@ pub enum SearchError {
         /// The rejected term id.
         term: u32,
     },
+    /// A diversification-mode parameter is out of range (λ outside
+    /// `[0, 1]`, a zero window, …). Rejected at admission like
+    /// [`SearchError::InvalidTau`]: a bad knob must be a typed error, not
+    /// a silently degenerate ranking.
+    InvalidMode {
+        /// Which parameter was rejected and why (static description).
+        detail: &'static str,
+    },
 }
 
 /// Which budget from [`crate::limits::SearchLimits`] ran out.
@@ -63,6 +71,9 @@ impl fmt::Display for SearchError {
             }
             SearchError::UnknownTerm { term } => {
                 write!(f, "unknown term id: {term} (outside the index vocabulary)")
+            }
+            SearchError::InvalidMode { detail } => {
+                write!(f, "invalid diversify mode: {detail}")
             }
         }
     }

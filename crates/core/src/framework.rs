@@ -38,7 +38,7 @@ use std::collections::BinaryHeap;
 /// framework's stop conditions are sound with any of them. (The greedy
 /// heuristic is deliberately *not* an option here: its table carries no
 /// optimality guarantee, which would break Lemma 1's upper bound.)
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum ExactAlgorithm {
     /// `div-astar` (Algorithm 4) on the whole graph.
     AStar,

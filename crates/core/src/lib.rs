@@ -62,6 +62,7 @@ pub mod components;
 pub mod compress;
 pub mod cut;
 pub mod cutpoints;
+pub mod diversify;
 pub mod dp;
 pub mod error;
 pub mod exhaustive;
@@ -92,6 +93,11 @@ pub mod prelude {
     pub use crate::component_cache::ComponentCache;
     pub use crate::cut::{
         ChildHeuristic, CutConfig, RootHeuristic, div_cut, div_cut_configured, div_cut_limited,
+    };
+    pub use crate::diversify::{
+        DiscDiversifier, Diversifier, DiversifierMetrics, DiversifyOutcome, ExactDiversifier,
+        KnnDiversifier, MmrDiversifier, NoneDiversifier, RERANK_OVERSAMPLE, SimilarityOracle,
+        WindowConfig, WindowDiversifier,
     };
     pub use crate::dp::{div_dp, div_dp_limited};
     pub use crate::error::{ExhaustedResource, SearchError};

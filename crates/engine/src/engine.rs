@@ -172,9 +172,13 @@ impl CacheKey {
             query,
             k: options.k,
             tau_q: (options.tau * 1e9).round() as u64,
+            // The mode's Debug form spells out every mode parameter (λ,
+            // window knobs, neighbor count, cut configuration) at full
+            // precision, so no two distinct configurations can collide —
+            // the cross-mode/cross-λ isolation regression tests pin this.
             algo: format!(
-                "{:?}|{:?}|{}|{}",
-                options.algorithm, options.limits, options.bound_decay, options.diversify
+                "{:?}|{:?}|{}",
+                options.mode, options.limits, options.bound_decay
             ),
         }
     }
@@ -731,6 +735,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use divtopk_text::mode::DiversifyMode;
     use divtopk_text::synth::{SynthConfig, generate};
 
     fn engine(shards: usize) -> Engine {
@@ -971,7 +976,7 @@ mod tests {
         let e = engine(2);
         let term = popular_term(&e);
         let on = SearchOptions::new(4).with_tau(0.3);
-        let off = on.clone().with_diversify(false);
+        let off = on.clone().with_mode(DiversifyMode::None);
         let out_on = e.search(&Query::Scan(term), &on).unwrap();
         let out_off = e.search(&Query::Scan(term), &off).unwrap();
         let stats = e.stats();
@@ -987,6 +992,55 @@ mod tests {
         assert_eq!(e.search(&Query::Scan(term), &on).unwrap(), out_on);
         assert_eq!(e.search(&Query::Scan(term), &off).unwrap(), out_off);
         assert_eq!(e.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn every_mode_parameter_keys_the_cache_separately() {
+        // Regression for the mode redesign: two modes — and two λ values
+        // of the *same* mode — must never serve each other's cached
+        // entry, across both `search` and `search_batch`.
+        let e = engine(2);
+        let term = popular_term(&e);
+        let variants: Vec<SearchOptions> = [
+            DiversifyMode::exact(),
+            DiversifyMode::None,
+            DiversifyMode::mmr(0.95),
+            DiversifyMode::mmr(0.05),
+            DiversifyMode::window(),
+            DiversifyMode::Disc,
+            DiversifyMode::knn(),
+        ]
+        .into_iter()
+        .map(|mode| SearchOptions::new(6).with_tau(0.3).with_mode(mode))
+        .collect();
+        let firsts: Vec<SearchOutput> = variants
+            .iter()
+            .map(|o| e.search(&Query::Scan(term), o).unwrap())
+            .collect();
+        let stats = e.stats();
+        assert_eq!(stats.cache_entries, variants.len(), "one entry per mode");
+        assert_eq!(stats.cache_hits, 0);
+        // The two λ values must have produced *different* MMR rankings —
+        // otherwise this test can't tell their cache entries apart.
+        // λ=0.05 weighs redundancy heavily, λ=0.95 relevance; on the
+        // near-dup-rich tiny corpus their orders diverge.
+        assert_ne!(firsts[2], firsts[3], "λ must change the MMR output");
+        // Repeat every variant through the single-query path: each hits
+        // exactly its own entry, bit-identical.
+        for (options, first) in variants.iter().zip(&firsts) {
+            assert_eq!(&e.search(&Query::Scan(term), options).unwrap(), first);
+        }
+        assert_eq!(e.stats().cache_hits, variants.len() as u64);
+        // And through the batch path: one batch carrying every variant of
+        // the same query — each entry must resolve to its own cache slot.
+        let batch: Vec<(Query, SearchOptions)> = variants
+            .iter()
+            .map(|o| (Query::Scan(term), o.clone()))
+            .collect();
+        for (got, first) in e.search_batch(&batch).iter().zip(&firsts) {
+            assert_eq!(got.as_ref().unwrap(), first);
+        }
+        assert_eq!(e.stats().cache_hits, 2 * variants.len() as u64);
     }
 
     #[test]

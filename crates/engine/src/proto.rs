@@ -28,6 +28,7 @@
 //! frame layer, mirroring PR 5's persistence sweep.
 
 use crate::engine::Query;
+use divtopk_text::mode::{DiversifyMode, KnnConfig, WindowConfig};
 use divtopk_text::query::KeywordQuery;
 use std::io::{Read, Write};
 
@@ -63,6 +64,14 @@ pub enum ProtoError {
     EmptyFrame,
     /// The first payload byte is not a known message tag.
     UnknownTag(u8),
+    /// The diversify-mode selector byte is not a known mode (see
+    /// [`MODE_EXACT_ASTAR`] and friends). Per-frame: a newer client
+    /// feature, not stream corruption.
+    UnknownSelector(u8),
+    /// A mode parameter decoded to an out-of-range value (NaN λ, zero
+    /// window, …). Rejected at decode so a hostile frame cannot smuggle
+    /// a degenerate configuration past admission.
+    BadValue(&'static str),
     /// A structurally invalid payload (reason attached).
     Malformed(&'static str),
     /// Well-formed message followed by garbage bytes.
@@ -85,6 +94,10 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::EmptyFrame => write!(f, "zero-length frame"),
             ProtoError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            ProtoError::UnknownSelector(selector) => {
+                write!(f, "unknown diversify-mode selector {selector:#04x}")
+            }
+            ProtoError::BadValue(why) => write!(f, "bad mode parameter: {why}"),
             ProtoError::Malformed(why) => write!(f, "malformed payload: {why}"),
             ProtoError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after message")
@@ -125,8 +138,12 @@ pub enum Request {
         tau: f64,
         /// Bound decay for the framework's necessary-condition check.
         bound_decay: f64,
-        /// Exact algorithm selector (see [`encode_algorithm`]).
-        algorithm: u8,
+        /// Diversification mode, carried in full (selector byte +
+        /// mode-specific parameters; see [`MODE_EXACT_ASTAR`] and
+        /// friends). `MmrConfig::k` does not cross the wire — the
+        /// request's own `k` governs — so it decodes as the placeholder
+        /// `0` (the [`DiversifyMode::mmr`] convention).
+        mode: DiversifyMode,
     },
     /// Serving counters + latency quantiles.
     Stats,
@@ -137,25 +154,107 @@ pub enum Request {
     },
 }
 
-/// Wire selector for [`divtopk_core::ExactAlgorithm`]'s plain variants.
-pub fn encode_algorithm(algorithm: divtopk_core::ExactAlgorithm) -> u8 {
+/// Diversify-mode wire selectors. The first three are byte-identical to
+/// the old plain `ExactAlgorithm` selector (0 = div-astar, 1 = div-dp,
+/// 2 = div-cut) and carry no parameter bytes, so frames from pre-mode
+/// clients decode unchanged to the equivalent exact modes.
+pub const MODE_EXACT_ASTAR: u8 = 0;
+/// Exact mode, div-dp inner algorithm (legacy-compatible selector).
+pub const MODE_EXACT_DP: u8 = 1;
+/// Exact mode, div-cut inner algorithm (legacy-compatible selector).
+/// `CutConfigured` also encodes to this selector — custom cut knobs are
+/// a server-side concern and do not cross the wire.
+pub const MODE_EXACT_CUT: u8 = 2;
+/// Diversity off (plain relevance top-k). No parameter bytes.
+pub const MODE_NONE: u8 = 3;
+/// MMR rerank. Followed by one `f64`: λ.
+pub const MODE_MMR: u8 = 4;
+/// Sliding-window spread. Followed by `u32` window, `u32`
+/// max-per-source, `f64` min-score-ratio.
+pub const MODE_WINDOW: u8 = 5;
+/// DisC dissimilarity + coverage. No parameter bytes.
+pub const MODE_DISC: u8 = 6;
+/// KNN-diversity. Followed by one `u32`: neighbor count.
+pub const MODE_KNN: u8 = 7;
+
+/// Appends a mode's selector byte plus its parameter bytes.
+fn put_mode(out: &mut Vec<u8>, mode: &DiversifyMode) {
     use divtopk_core::ExactAlgorithm::*;
-    match algorithm {
-        AStar => 0,
-        Dp => 1,
-        Cut | CutConfigured(_) => 2,
+    match mode {
+        DiversifyMode::Exact(AStar) => out.push(MODE_EXACT_ASTAR),
+        DiversifyMode::Exact(Dp) => out.push(MODE_EXACT_DP),
+        DiversifyMode::Exact(Cut) | DiversifyMode::Exact(CutConfigured(_)) => {
+            out.push(MODE_EXACT_CUT)
+        }
+        DiversifyMode::None => out.push(MODE_NONE),
+        DiversifyMode::Mmr(config) => {
+            out.push(MODE_MMR);
+            put_f64(out, config.lambda);
+        }
+        DiversifyMode::Window(config) => {
+            out.push(MODE_WINDOW);
+            put_u32(out, config.window as u32);
+            put_u32(out, config.max_per_source as u32);
+            put_f64(out, config.min_score_ratio);
+        }
+        DiversifyMode::Disc => out.push(MODE_DISC),
+        DiversifyMode::Knn(config) => {
+            out.push(MODE_KNN);
+            put_u32(out, config.neighbors as u32);
+        }
     }
 }
 
-/// Inverse of [`encode_algorithm`]; unknown selectors are typed errors.
-pub fn decode_algorithm(wire: u8) -> Result<divtopk_core::ExactAlgorithm, ProtoError> {
+/// Reads a mode selector plus parameters. Unknown selectors are
+/// [`ProtoError::UnknownSelector`]; parameters outside their legal range
+/// are [`ProtoError::BadValue`] — both per-frame errors that leave the
+/// stream usable.
+fn read_mode(cur: &mut Cursor<'_>) -> Result<DiversifyMode, ProtoError> {
     use divtopk_core::ExactAlgorithm::*;
-    match wire {
-        0 => Ok(AStar),
-        1 => Ok(Dp),
-        2 => Ok(Cut),
-        _ => Err(ProtoError::Malformed("unknown algorithm selector")),
-    }
+    let mode = match cur.u8()? {
+        MODE_EXACT_ASTAR => DiversifyMode::Exact(AStar),
+        MODE_EXACT_DP => DiversifyMode::Exact(Dp),
+        MODE_EXACT_CUT => DiversifyMode::Exact(Cut),
+        MODE_NONE => DiversifyMode::None,
+        MODE_MMR => {
+            let lambda = cur.f64()?;
+            if !lambda.is_finite() || !(0.0..=1.0).contains(&lambda) {
+                return Err(ProtoError::BadValue("mmr λ must be in [0, 1]"));
+            }
+            DiversifyMode::mmr(lambda)
+        }
+        MODE_WINDOW => {
+            let window = cur.u32()? as usize;
+            let max_per_source = cur.u32()? as usize;
+            let min_score_ratio = cur.f64()?;
+            if window == 0 {
+                return Err(ProtoError::BadValue("window size must be ≥ 1"));
+            }
+            if max_per_source == 0 {
+                return Err(ProtoError::BadValue("window max-per-source must be ≥ 1"));
+            }
+            if !min_score_ratio.is_finite() || !(0.0..=1.0).contains(&min_score_ratio) {
+                return Err(ProtoError::BadValue(
+                    "window min-score-ratio must be in [0, 1]",
+                ));
+            }
+            DiversifyMode::Window(WindowConfig {
+                window,
+                max_per_source,
+                min_score_ratio,
+            })
+        }
+        MODE_DISC => DiversifyMode::Disc,
+        MODE_KNN => {
+            let neighbors = cur.u32()? as usize;
+            if neighbors == 0 {
+                return Err(ProtoError::BadValue("knn neighbor count must be ≥ 1"));
+            }
+            DiversifyMode::Knn(KnnConfig { neighbors })
+        }
+        selector => return Err(ProtoError::UnknownSelector(selector)),
+    };
+    Ok(mode)
 }
 
 /// Server-side failure class carried in an error response.
@@ -426,7 +525,7 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, ProtoError> {
             k,
             tau,
             bound_decay,
-            algorithm,
+            mode,
         } => {
             out.push(TAG_SEARCH);
             match query {
@@ -448,7 +547,7 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, ProtoError> {
             put_u32(&mut out, *k);
             put_f64(&mut out, *tau);
             put_f64(&mut out, *bound_decay);
-            out.push(*algorithm);
+            put_mode(&mut out, mode);
         }
         Request::Stats => out.push(TAG_STATS),
         Request::Reload { path } => {
@@ -494,7 +593,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 k: cur.u32()?,
                 tau: cur.f64()?,
                 bound_decay: cur.f64()?,
-                algorithm: cur.u8()?,
+                mode: read_mode(&mut cur)?,
             }
         }
         TAG_STATS => Request::Stats,
@@ -684,7 +783,7 @@ mod tests {
             k: 5,
             tau: 0.4,
             bound_decay: 0.005,
-            algorithm: 2,
+            mode: DiversifyMode::exact(),
         });
         roundtrip_request(Request::Search {
             query: Query::Keywords(KeywordQuery {
@@ -693,8 +792,119 @@ mod tests {
             k: 10,
             tau: 0.61803398875,
             bound_decay: 0.0,
-            algorithm: 0,
+            mode: DiversifyMode::Exact(divtopk_core::ExactAlgorithm::AStar),
         });
+        // Every mode round-trips with its parameters bit-exact.
+        for mode in [
+            DiversifyMode::Exact(divtopk_core::ExactAlgorithm::Dp),
+            DiversifyMode::None,
+            DiversifyMode::mmr(0.31837250619),
+            DiversifyMode::Window(WindowConfig {
+                window: 7,
+                max_per_source: 3,
+                min_score_ratio: 0.25,
+            }),
+            DiversifyMode::Disc,
+            DiversifyMode::Knn(KnnConfig { neighbors: 5 }),
+        ] {
+            roundtrip_request(Request::Search {
+                query: Query::Scan(9),
+                k: 4,
+                tau: 0.6,
+                bound_decay: 0.0,
+                mode,
+            });
+        }
+    }
+
+    /// Byte-level frame of a search request as pre-mode clients sent it:
+    /// scan query, then k/τ/decay, then the single selector byte.
+    fn legacy_search_payload(selector: u8) -> Vec<u8> {
+        let mut out = vec![TAG_SEARCH, QUERY_SCAN];
+        put_u32(&mut out, 42);
+        put_u32(&mut out, 5);
+        put_f64(&mut out, 0.4);
+        put_f64(&mut out, 0.005);
+        out.push(selector);
+        out
+    }
+
+    #[test]
+    fn legacy_plain_selectors_decode_to_equivalent_modes() {
+        use divtopk_core::ExactAlgorithm::*;
+        for (selector, algorithm) in [(0u8, AStar), (1, Dp), (2, Cut)] {
+            let request = decode_request(&legacy_search_payload(selector)).unwrap();
+            let Request::Search { mode, .. } = request else {
+                panic!("expected a search request");
+            };
+            assert_eq!(mode, DiversifyMode::Exact(algorithm));
+        }
+    }
+
+    #[test]
+    fn unknown_mode_selector_is_typed_and_nonfatal() {
+        for selector in [8u8, 42, 255] {
+            let err = decode_request(&legacy_search_payload(selector)).unwrap_err();
+            assert_eq!(err, ProtoError::UnknownSelector(selector));
+            assert!(!err.breaks_framing());
+        }
+    }
+
+    #[test]
+    fn out_of_range_mode_parameters_are_bad_values() {
+        let base = |mode: &DiversifyMode| {
+            encode_request(&Request::Search {
+                query: Query::Scan(1),
+                k: 3,
+                tau: 0.5,
+                bound_decay: 0.0,
+                mode: mode.clone(),
+            })
+            .unwrap()
+        };
+        // λ out of range / NaN: patch the trailing f64 in place.
+        for bad in [f64::NAN, -0.25, 1.5, f64::INFINITY] {
+            let mut payload = base(&DiversifyMode::mmr(0.5));
+            let at = payload.len() - 8;
+            payload[at..].copy_from_slice(&bad.to_bits().to_le_bytes());
+            let err = decode_request(&payload).unwrap_err();
+            assert!(matches!(err, ProtoError::BadValue(_)), "λ={bad}: {err:?}");
+            assert!(!err.breaks_framing());
+        }
+        // Zero window / max-per-source, bad ratio.
+        let window_mode = DiversifyMode::Window(WindowConfig {
+            window: 7,
+            max_per_source: 3,
+            min_score_ratio: 0.25,
+        });
+        let good = base(&window_mode);
+        let params_at = good.len() - 16;
+        let mut zero_window = good.clone();
+        zero_window[params_at..params_at + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_request(&zero_window).unwrap_err(),
+            ProtoError::BadValue(_)
+        ));
+        let mut zero_cap = good.clone();
+        zero_cap[params_at + 4..params_at + 8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_request(&zero_cap).unwrap_err(),
+            ProtoError::BadValue(_)
+        ));
+        let mut bad_ratio = good.clone();
+        bad_ratio[params_at + 8..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_request(&bad_ratio).unwrap_err(),
+            ProtoError::BadValue(_)
+        ));
+        // Zero knn neighbors.
+        let mut knn = base(&DiversifyMode::Knn(KnnConfig { neighbors: 2 }));
+        let at = knn.len() - 4;
+        knn[at..].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_request(&knn).unwrap_err(),
+            ProtoError::BadValue(_)
+        ));
     }
 
     #[test]
@@ -747,7 +957,25 @@ mod tests {
                 k: 8,
                 tau: 0.5,
                 bound_decay: 0.005,
-                algorithm: 1,
+                mode: DiversifyMode::Exact(divtopk_core::ExactAlgorithm::Dp),
+            })
+            .unwrap(),
+            // The longest parameterized mode: truncation inside window /
+            // max-per-source / ratio bytes must all be typed errors.
+            encode_request(&Request::Search {
+                query: Query::Scan(3),
+                k: 8,
+                tau: 0.5,
+                bound_decay: 0.005,
+                mode: DiversifyMode::Window(WindowConfig::default()),
+            })
+            .unwrap(),
+            encode_request(&Request::Search {
+                query: Query::Scan(3),
+                k: 8,
+                tau: 0.5,
+                bound_decay: 0.005,
+                mode: DiversifyMode::mmr(0.7),
             })
             .unwrap(),
             encode_response(&Response::Hits(WireHits {
@@ -761,7 +989,7 @@ mod tests {
         for (which, payload) in payloads.iter().enumerate() {
             for cut in 0..payload.len() {
                 let sliced = &payload[..cut];
-                let result = if which == 0 {
+                let result = if which < 3 {
                     decode_request(sliced).map(|_| ())
                 } else {
                     decode_response(sliced).map(|_| ())

@@ -26,9 +26,7 @@
 
 use crate::engine::{Engine, Query};
 use crate::histogram::LatencyHistogram;
-use crate::proto::{
-    self, ErrorCode, ProtoError, Request, Response, StatsReport, WireHits, decode_algorithm,
-};
+use crate::proto::{self, ErrorCode, ProtoError, Request, Response, StatsReport, WireHits};
 use divtopk_core::sync::{lock_unpoisoned, wait_unpoisoned};
 use divtopk_text::search::{SearchOptions, SearchOutput};
 use std::collections::VecDeque;
@@ -271,21 +269,17 @@ impl ServerShared {
                 k,
                 tau,
                 bound_decay,
-                algorithm,
+                mode,
             } => {
-                let algorithm = match decode_algorithm(algorithm) {
-                    Ok(a) => a,
-                    Err(error) => {
-                        return Response::Error {
-                            code: ErrorCode::Protocol,
-                            message: error.to_string(),
-                        };
-                    }
-                };
+                // The decode layer already rejected unknown selectors and
+                // out-of-range mode parameters; engine admission
+                // re-validates (`SearchOptions::validate`) so a mode built
+                // programmatically gets the same checks as one off the
+                // wire.
                 let options = SearchOptions::new(k as usize)
                     .with_tau(tau)
                     .with_bound_decay(bound_decay)
-                    .with_algorithm(algorithm);
+                    .with_mode(mode);
                 let slot = Arc::new(ResponseSlot::default());
                 let job = SearchJob {
                     query,
@@ -475,6 +469,7 @@ impl Drop for Server {
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
+    use divtopk_text::mode::DiversifyMode;
     use divtopk_text::synth::{SynthConfig, generate};
 
     fn test_server() -> Server {
@@ -512,7 +507,7 @@ mod tests {
                 k: 3,
                 tau: 0.5,
                 bound_decay: 0.005,
-                algorithm: 2,
+                mode: DiversifyMode::exact(),
             },
         );
         let Response::Hits(hits) = response else {
@@ -538,7 +533,7 @@ mod tests {
                 k: 3,
                 tau: 0.5,
                 bound_decay: 0.005,
-                algorithm: 2,
+                mode: DiversifyMode::exact(),
             },
         );
         assert!(matches!(

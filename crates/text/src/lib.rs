@@ -48,6 +48,7 @@ pub mod document;
 pub mod index;
 pub mod jaccard;
 pub mod mmr;
+pub mod mode;
 pub mod persist;
 pub mod quality;
 pub mod query;
@@ -71,6 +72,7 @@ pub mod prelude {
         similar_above, total_weight, weighted_jaccard, weighted_jaccard_with,
     };
     pub use crate::mmr::{MmrConfig, mmr_documents, mmr_rerank};
+    pub use crate::mode::{DiversifyMode, KnnConfig, WindowConfig};
     pub use crate::persist::SnapshotError;
     pub use crate::quality::{diversified_score, redundancy};
     pub use crate::query::{KeywordQuery, kfreq_band, query_for_band, representative_terms};

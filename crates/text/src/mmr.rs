@@ -23,7 +23,7 @@ use crate::jaccard::weighted_jaccard;
 use divtopk_core::{Score, Scored};
 
 /// MMR configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MmrConfig {
     /// Trade-off: 1.0 = pure relevance, 0.0 = pure anti-redundancy.
     pub lambda: f64,

@@ -9,13 +9,16 @@
 use crate::corpus::Corpus;
 use crate::document::{DocId, TermId};
 use crate::index::InvertedIndex;
-use crate::jaccard::{similar_above, total_weight};
+use crate::jaccard::{similar_above, total_weight, weighted_jaccard};
+use crate::mode::DiversifyMode;
 use crate::query::KeywordQuery;
 use crate::scan::ScanSource;
 use crate::ta::TaSource;
-use divtopk_core::{
-    DivSearchConfig, DivTopK, ExactAlgorithm, FrameworkMetrics, Score, SearchError, SearchLimits,
+use divtopk_core::diversify::{
+    DiscDiversifier, Diversifier, DiversifierMetrics, DiversifyOutcome, ExactDiversifier,
+    KnnDiversifier, MmrDiversifier, NoneDiversifier, SimilarityOracle, WindowDiversifier,
 };
+use divtopk_core::{ExactAlgorithm, FrameworkMetrics, Score, SearchError, SearchLimits};
 
 /// A diversified hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,13 +35,19 @@ pub struct Hit {
 /// its tests assert cache hits are bit-identical to the original run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchOutput {
-    /// Diversified top-k hits, best first; no two exceed the similarity
-    /// threshold pairwise, and the total score is maximal.
+    /// Top-k hits in the mode's ranking order. For the `Exact` modes no
+    /// two hits exceed the similarity threshold pairwise and the total
+    /// score is maximal (best first); cheap rerank modes emit their own
+    /// deterministic ranking order (greedy selection order for MMR/KNN,
+    /// rotated order for Window).
     pub hits: Vec<Hit>,
     /// Total score.
     pub total_score: Score,
     /// Framework counters (results generated, inner searches, early stop).
     pub metrics: FrameworkMetrics,
+    /// The selected diversifier's own counters (pool size, similarity
+    /// evaluations, rotations).
+    pub diversifier: DiversifierMetrics,
 }
 
 /// A searcher bundling a corpus and its inverted index.
@@ -57,38 +66,54 @@ pub struct SearchOptions {
     pub k: usize,
     /// Similarity threshold `τ` (two docs are similar iff Jaccard > τ).
     pub tau: f64,
-    /// Inner exact algorithm.
-    pub algorithm: ExactAlgorithm,
+    /// Which diversification strategy runs — exact, a cheap rerank mode,
+    /// or diversity off. See [`DiversifyMode`].
+    pub mode: DiversifyMode,
     /// Budgets for each inner search (`INF` emulation when exceeded).
     pub limits: SearchLimits,
     /// Framework bound-decay throttle (0.0 = the paper's per-result
     /// checking; see `DivSearchConfig::min_bound_decay`).
     pub bound_decay: f64,
-    /// When `false`, the similarity predicate is replaced by a constant
-    /// `false`: the diversity graph is edgeless, so the framework returns
-    /// the plain relevance top-k (score descending, doc id as tie-break)
-    /// through the *same* source and early-stop machinery — the
-    /// deterministic diversity-off oracle the quality harness compares
-    /// against. Defaults to `true`.
-    pub diversify: bool,
 }
 
 impl SearchOptions {
-    /// Defaults matching the paper's defaults: τ = 0.6, div-cut, no budget.
+    /// Defaults matching the paper's defaults: τ = 0.6, exact div-cut,
+    /// no budget.
     pub fn new(k: usize) -> SearchOptions {
         SearchOptions {
             k,
             tau: 0.6,
-            algorithm: ExactAlgorithm::Cut,
+            mode: DiversifyMode::default(),
             limits: SearchLimits::unlimited(),
             bound_decay: 0.0,
-            diversify: true,
         }
     }
 
-    /// Enables or disables diversification (see the `diversify` field).
+    /// Selects the diversification mode.
+    pub fn with_mode(mut self, mode: DiversifyMode) -> SearchOptions {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables or disables diversification.
+    ///
+    /// Deprecated shim over [`DiversifyMode`]: `false` maps to
+    /// [`DiversifyMode::None`]; `true` restores the default
+    /// `Exact(Cut)` only when the current mode is `None` (any other
+    /// mode already diversifies and is left alone). A previous
+    /// `with_algorithm` choice is *not* resurrected by an off/on
+    /// round-trip — callers doing that dance should say
+    /// `with_mode(DiversifyMode::Exact(...))` directly.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use with_mode(DiversifyMode::None / ::Exact(..))"
+    )]
     pub fn with_diversify(mut self, diversify: bool) -> SearchOptions {
-        self.diversify = diversify;
+        if !diversify {
+            self.mode = DiversifyMode::None;
+        } else if self.mode == DiversifyMode::None {
+            self.mode = DiversifyMode::default();
+        }
         self
     }
 
@@ -104,9 +129,13 @@ impl SearchOptions {
         self
     }
 
-    /// Overrides the inner algorithm.
+    /// Overrides the inner exact algorithm.
+    ///
+    /// Deprecated shim over [`DiversifyMode`]: equivalent to
+    /// `with_mode(DiversifyMode::Exact(algorithm))`.
+    #[deprecated(since = "0.10.0", note = "use with_mode(DiversifyMode::Exact(..))")]
     pub fn with_algorithm(mut self, algorithm: ExactAlgorithm) -> SearchOptions {
-        self.algorithm = algorithm;
+        self.mode = DiversifyMode::Exact(algorithm);
         self
     }
 
@@ -123,7 +152,9 @@ impl SearchOptions {
     ///   through to the inner search as a silent no-op;
     /// * `τ` must be a number in `[0, 1]` (`SearchError::InvalidTau`) —
     ///   a NaN τ makes every `sim > τ` comparison false, silently turning
-    ///   diversified search into plain top-k.
+    ///   diversified search into plain top-k;
+    /// * every mode parameter must be in range
+    ///   (`SearchError::InvalidMode`; see [`DiversifyMode::validate`]).
     pub fn validate(&self) -> Result<(), SearchError> {
         if self.k == 0 {
             return Err(SearchError::InvalidK { k: 0 });
@@ -131,7 +162,7 @@ impl SearchOptions {
         if !self.tau.is_finite() || !(0.0..=1.0).contains(&self.tau) {
             return Err(SearchError::InvalidTau { tau: self.tau });
         }
-        Ok(())
+        self.mode.validate()
     }
 }
 
@@ -195,13 +226,13 @@ where
 {
     options.validate()?;
     let tau = options.tau;
-    let diversify = options.diversify;
-    // With diversification off the predicate short-circuits to `false`:
-    // an edgeless graph makes the diversified optimum the plain score-
-    // descending top-k, while the Lemma 1/3 early stops stay sound.
-    let similar = move |a: &DocId, b: &DocId| {
-        diversify
-            && similar_above(
+    // The thresholded view (`sim > τ` behind the O(1) weight prefilter)
+    // drives the exact modes' diversity graph and the window leaf's
+    // source clustering; the raw view feeds the modes that *weigh*
+    // redundancy (MMR, KNN).
+    let oracle = SimilarityOracle {
+        above: move |a: &DocId, b: &DocId| {
+            similar_above(
                 corpus.idf_table(),
                 corpus.doc(*a),
                 weights.weight(*a),
@@ -209,12 +240,48 @@ where
                 weights.weight(*b),
                 tau,
             )
+        },
+        value: move |a: &DocId, b: &DocId| weighted_jaccard(corpus, corpus.doc(*a), corpus.doc(*b)),
     };
-    let config = DivSearchConfig::new(options.k)
-        .with_algorithm(options.algorithm.clone())
-        .with_limits(options.limits.clone())
-        .with_bound_decay(options.bound_decay);
-    let out = DivTopK::new(source, similar, config).run()?;
+    let limits = options.limits.clone();
+    let bound_decay = options.bound_decay;
+    let k = options.k;
+    let out: DiversifyOutcome<DocId> = match &options.mode {
+        DiversifyMode::Exact(algorithm) => ExactDiversifier {
+            algorithm: algorithm.clone(),
+            limits,
+            bound_decay,
+        }
+        .run(source, oracle, k)?,
+        DiversifyMode::None => NoneDiversifier {
+            limits,
+            bound_decay,
+        }
+        .run(source, oracle, k)?,
+        DiversifyMode::Mmr(config) => MmrDiversifier {
+            lambda: config.lambda,
+            limits,
+            bound_decay,
+        }
+        .run(source, oracle, k)?,
+        DiversifyMode::Window(config) => WindowDiversifier {
+            config: config.clone(),
+            limits,
+            bound_decay,
+        }
+        .run(source, oracle, k)?,
+        DiversifyMode::Disc => DiscDiversifier {
+            limits,
+            bound_decay,
+        }
+        .run(source, oracle, k)?,
+        DiversifyMode::Knn(config) => KnnDiversifier {
+            neighbors: config.neighbors,
+            limits,
+            bound_decay,
+        }
+        .run(source, oracle, k)?,
+    };
     let hits = out
         .selected
         .iter()
@@ -226,7 +293,8 @@ where
     Ok(SearchOutput {
         hits,
         total_score: out.total_score,
-        metrics: out.metrics,
+        metrics: out.framework,
+        diversifier: out.diversifier,
     })
 }
 
@@ -382,7 +450,7 @@ mod tests {
         ] {
             let options = SearchOptions::new(5)
                 .with_tau(0.5)
-                .with_algorithm(algorithm);
+                .with_mode(DiversifyMode::Exact(algorithm));
             scores.push(searcher.search_ta(&query, &options).unwrap().total_score);
         }
         assert!(scores[0].approx_eq(scores[1], 1e-9));
@@ -422,7 +490,9 @@ mod tests {
         let off = searcher
             .search_scan(
                 term,
-                &SearchOptions::new(5).with_tau(0.3).with_diversify(false),
+                &SearchOptions::new(5)
+                    .with_tau(0.3)
+                    .with_mode(DiversifyMode::None),
             )
             .unwrap();
         assert_eq!(off.hits.len(), 5);
@@ -451,7 +521,9 @@ mod tests {
         let again = searcher
             .search_scan(
                 term,
-                &SearchOptions::new(5).with_tau(0.3).with_diversify(false),
+                &SearchOptions::new(5)
+                    .with_tau(0.3)
+                    .with_mode(DiversifyMode::None),
             )
             .unwrap();
         assert_eq!(off.hits, again.hits);
@@ -470,7 +542,9 @@ mod tests {
         let off = searcher
             .search_ta(
                 &query,
-                &SearchOptions::new(4).with_tau(0.3).with_diversify(false),
+                &SearchOptions::new(4)
+                    .with_tau(0.3)
+                    .with_mode(DiversifyMode::None),
             )
             .unwrap();
         assert!(

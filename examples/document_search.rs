@@ -66,7 +66,7 @@ fn main() {
     let t2 = Instant::now();
     let options = SearchOptions::new(k)
         .with_tau(0.6)
-        .with_algorithm(ExactAlgorithm::Cut);
+        .with_mode(DiversifyMode::Exact(ExactAlgorithm::Cut));
     let out = searcher
         .search_ta(&query, &options)
         .expect("unbudgeted search");

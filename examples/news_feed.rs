@@ -38,7 +38,7 @@ fn main() {
     for tau in [0.4, 0.6, 0.8] {
         let options = SearchOptions::new(k)
             .with_tau(tau)
-            .with_algorithm(ExactAlgorithm::Cut);
+            .with_mode(DiversifyMode::Exact(ExactAlgorithm::Cut));
         let out = searcher.search_scan(term, &options).expect("unbudgeted");
         println!(
             "\nτ = {tau}: total score {:.4}, {} stories, pulled {} results, early stop {}",

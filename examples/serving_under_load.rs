@@ -50,7 +50,7 @@ fn search(term: TermId) -> Request {
         k: 8,
         tau: 0.5,
         bound_decay: 0.005,
-        algorithm: 2, // div-cut
+        mode: DiversifyMode::exact(),
     }
 }
 

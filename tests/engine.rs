@@ -143,7 +143,7 @@ fn sharded_ta_is_exact_and_deterministic() {
             for (k, tau) in [(4usize, 0.4f64), (6, 0.6)] {
                 let options = SearchOptions::new(k)
                     .with_tau(tau)
-                    .with_algorithm(ExactAlgorithm::Cut);
+                    .with_mode(DiversifyMode::Exact(ExactAlgorithm::Cut));
                 let want = searcher.search_ta(&query, &options).unwrap();
                 let unique = hits_have_unique_scores(&want.hits, &matched);
                 for &shards in &SHARD_COUNTS {

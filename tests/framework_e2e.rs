@@ -136,7 +136,7 @@ fn inner_algorithms_agree_under_the_framework() {
                 &query,
                 &SearchOptions::new(6)
                     .with_tau(0.45)
-                    .with_algorithm(algorithm),
+                    .with_mode(DiversifyMode::Exact(algorithm)),
             )
             .unwrap();
         totals.push(out.total_score);

@@ -129,7 +129,7 @@ fn concurrent_clients_with_live_writer_see_single_generation_answers() {
     let options = SearchOptions::new(k as usize)
         .with_tau(tau)
         .with_bound_decay(bound_decay)
-        .with_algorithm(ExactAlgorithm::Cut);
+        .with_mode(DiversifyMode::Exact(ExactAlgorithm::Cut));
     let queries: Vec<Query> = terms
         .iter()
         .map(|&t| Query::Scan(t))
@@ -192,7 +192,7 @@ fn concurrent_clients_with_live_writer_see_single_generation_answers() {
                         k,
                         tau,
                         bound_decay,
-                        algorithm: 2,
+                        mode: DiversifyMode::exact(),
                     };
                     match roundtrip(&mut stream, &request) {
                         Response::Hits(hits) => {
@@ -244,7 +244,7 @@ fn concurrent_clients_with_live_writer_see_single_generation_answers() {
             k,
             tau,
             bound_decay,
-            algorithm: 2,
+            mode: DiversifyMode::exact(),
         },
     ) {
         Response::Hits(hits) => {
@@ -302,7 +302,7 @@ fn overload_draws_typed_backpressure_and_never_hangs() {
                     k: 8,
                     tau: 0.3,
                     bound_decay: 0.005,
-                    algorithm: 2,
+                    mode: DiversifyMode::exact(),
                 };
                 barrier.wait();
                 match roundtrip(&mut stream, &request) {
@@ -346,7 +346,7 @@ fn overload_draws_typed_backpressure_and_never_hangs() {
             k: 3,
             tau: 0.5,
             bound_decay: 0.005,
-            algorithm: 2,
+            mode: DiversifyMode::exact(),
         },
     ) {
         Response::Hits(_) => {}
@@ -400,7 +400,7 @@ fn truncation_at_every_frame_offset_leaves_the_server_serving() {
         k: 5,
         tau: 0.5,
         bound_decay: 0.005,
-        algorithm: 2,
+        mode: DiversifyMode::exact(),
     })
     .unwrap();
     let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
@@ -481,25 +481,58 @@ fn garbage_payloads_get_typed_errors_and_the_connection_keeps_serving() {
     assert_ping_works(&addr);
 }
 
+/// Hand-crafted search payload (scan query for term 0, k=3, τ=0.5,
+/// decay=0.005) ending in the given mode selector + parameter bytes —
+/// the typed `Request` can no longer express a hostile selector, so
+/// these tests speak raw bytes.
+fn raw_search_payload(selector: u8, params: &[u8]) -> Vec<u8> {
+    let mut payload = vec![0x02u8, 0x00]; // TAG_SEARCH, QUERY_SCAN
+    payload.extend_from_slice(&0u32.to_le_bytes()); // term
+    payload.extend_from_slice(&3u32.to_le_bytes()); // k
+    payload.extend_from_slice(&0.5f64.to_bits().to_le_bytes()); // τ
+    payload.extend_from_slice(&0.005f64.to_bits().to_le_bytes()); // decay
+    payload.push(selector);
+    payload.extend_from_slice(params);
+    payload
+}
+
 #[test]
-fn unknown_algorithm_selector_is_a_typed_error_not_a_crash() {
+fn unknown_mode_selector_is_a_typed_error_not_a_crash() {
     let (_server, addr) = tiny_server();
     let mut stream = connect(&addr);
-    match roundtrip(
-        &mut stream,
-        &Request::Search {
-            query: Query::Scan(0),
-            k: 3,
-            tau: 0.5,
-            bound_decay: 0.005,
-            algorithm: 99,
-        },
-    ) {
+    proto::write_frame(&mut stream, &raw_search_payload(99, &[])).unwrap();
+    match proto::decode_response(&proto::read_frame(&mut stream).unwrap().unwrap()).unwrap() {
         Response::Error {
             code: proto::ErrorCode::Protocol,
-            ..
-        } => {}
+            message,
+        } => assert!(message.contains("selector"), "{message}"),
         other => panic!("expected protocol error, got {other:?}"),
+    }
+    assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
+}
+
+#[test]
+fn out_of_range_mode_parameters_are_typed_errors_over_live_tcp() {
+    let (_server, addr) = tiny_server();
+    let mut stream = connect(&addr);
+    // MMR (selector 4) with λ = NaN, and window (selector 5) with a
+    // zero window — both must come back as typed protocol errors while
+    // the connection keeps serving.
+    let bad_mmr = raw_search_payload(4, &f64::NAN.to_bits().to_le_bytes());
+    let mut window_params = Vec::new();
+    window_params.extend_from_slice(&0u32.to_le_bytes());
+    window_params.extend_from_slice(&2u32.to_le_bytes());
+    window_params.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+    let bad_window = raw_search_payload(5, &window_params);
+    for payload in [bad_mmr, bad_window] {
+        proto::write_frame(&mut stream, &payload).unwrap();
+        match proto::decode_response(&proto::read_frame(&mut stream).unwrap().unwrap()).unwrap() {
+            Response::Error {
+                code: proto::ErrorCode::Protocol,
+                ..
+            } => {}
+            other => panic!("expected protocol error, got {other:?}"),
+        }
     }
     assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
 }
